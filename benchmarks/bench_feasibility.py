@@ -1,0 +1,74 @@
+"""Ablation: Eq. (1) vs Eq. (2) — the worker-cost frontier.
+
+Sweeps (K, S, M, T, deg f) and regenerates the paper's resource
+comparison: LCC needs ``2M`` extra workers per Byzantine node, AVCC
+needs ``M`` — so AVCC supports strictly more fault configurations at
+any fixed fleet size.
+"""
+
+from conftest import run_once
+
+from repro.coding import SchemeParams
+from repro.experiments import format_table
+
+
+def _sweep():
+    rows = []
+    savings = []
+    for k in (4, 9, 16):
+        for deg in (1, 2):
+            for t in (0, 1):
+                for s in (0, 1, 2, 3):
+                    for m in (0, 1, 2, 3):
+                        p = SchemeParams(n=10**6, k=k, s=s, m=m, t=t, deg_f=deg)
+                        rows.append(
+                            (k, deg, t, s, m, p.lcc_required_n, p.avcc_required_n)
+                        )
+                        savings.append(p.lcc_required_n - p.avcc_required_n)
+    return rows, savings
+
+
+def test_feasibility_frontier(benchmark):
+    rows, savings = run_once(benchmark, _sweep)
+
+    # Eq.(1) - Eq.(2) == M for every configuration
+    for (k, deg, t, s, m, lcc_n, avcc_n), saving in zip(rows, savings):
+        assert saving == m, (k, deg, t, s, m)
+        assert avcc_n == (k + t - 1) * deg + s + m + 1
+
+    # the paper's configuration table rows
+    paper = SchemeParams(n=12, k=9, s=1, m=1)
+    assert paper.lcc_required_n == 12 and paper.avcc_required_n == 11
+
+    interesting = [r for r in rows if r[0] == 9 and r[1] == 1 and r[2] == 0][:8]
+    print(
+        "\n"
+        + format_table(
+            ["K", "deg f", "T", "S", "M", "N_LCC (Eq.1)", "N_AVCC (Eq.2)"],
+            interesting,
+            title="Feasibility frontier (excerpt, K=9, deg f=1, T=0)",
+        )
+    )
+
+
+def test_fleet_size_12_fault_envelope(benchmark):
+    """At the experimental fleet size (N=12, K=9): enumerate every
+    (S, M) the two frameworks support — AVCC's envelope must strictly
+    contain LCC's (the paper's S+M<=3 vs S+2M<=3)."""
+
+    def envelope():
+        lcc, avcc = set(), set()
+        for s in range(4):
+            for m in range(4):
+                p = SchemeParams(n=12, k=9, s=s, m=m)
+                if p.lcc_feasible:
+                    lcc.add((s, m))
+                if p.avcc_feasible:
+                    avcc.add((s, m))
+        return lcc, avcc
+
+    lcc, avcc = run_once(benchmark, envelope)
+    assert lcc < avcc  # strict superset
+    assert (1, 2) in avcc and (1, 2) not in lcc  # the Fig. 3(b)/(d) setting
+    assert (2, 1) in avcc and (2, 1) not in lcc
+    assert avcc == {(s, m) for s in range(4) for m in range(4) if s + m <= 3}

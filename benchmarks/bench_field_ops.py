@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the finite-field substrate.
+
+These are genuine wall-clock benches (pytest-benchmark statistics are
+meaningful here): chunked modular matmul, Fermat vs Montgomery
+inversion, vectorized modpow.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ff import batch_inverse, ff_matmul, ff_matvec, mod_inverse
+
+
+@pytest.mark.parametrize("n", [128, 512])
+def test_ff_matmul_square(benchmark, field, rng, n):
+    a = field.random((n, n), rng)
+    b = field.random((n, n), rng)
+    out = benchmark(ff_matmul, field, a, b)
+    assert out.shape == (n, n)
+
+
+def test_ff_matmul_chunked_overhead(benchmark, field, rng):
+    """The chunked path (forced) must stay within ~3x of single-shot
+    for GISETTE-block shapes — chunking is an overflow guard, not a
+    performance cliff."""
+    a = field.random((64, 5000), rng)
+    b = field.random((5000, 8), rng)
+
+    import time
+
+    t0 = time.perf_counter()
+    want = ff_matmul(field, a, b)
+    single = time.perf_counter() - t0
+
+    old = field.chunk
+    field.chunk = 512
+    try:
+        t0 = time.perf_counter()
+        got = ff_matmul(field, a, b)
+        chunked = time.perf_counter() - t0
+    finally:
+        field.chunk = old
+    np.testing.assert_array_equal(got, want)
+    assert chunked < max(3.5 * single, single + 0.05)
+    benchmark(ff_matmul, field, a, b)
+
+
+def test_worker_round_matvec(benchmark, field, rng):
+    """The exact hot operation a worker performs per round at GISETTE
+    scale: (667, 5000) x (5000,)."""
+    share = field.random((667, 5000), rng)
+    w = field.random(5000, rng)
+    out = benchmark(ff_matvec, field, share, w)
+    assert out.shape == (667,)
+
+
+def test_fermat_inverse_vectorized(benchmark, field, rng):
+    a = field.random(100_000, rng) + 1
+    a %= field.q
+    a[a == 0] = 1
+    inv = benchmark(mod_inverse, a, field.q)
+    assert np.all(a * inv % field.q == 1)
+
+
+def test_montgomery_batch_inverse_small(benchmark, field, rng):
+    """Decoder-sized batches (N+K elements) — the Montgomery trick's
+    natural regime."""
+    a = field.random(32, rng) + 1
+    a %= field.q
+    a[a == 0] = 1
+    inv = benchmark(batch_inverse, a, field.q)
+    assert np.all(a * inv % field.q == 1)

@@ -1,0 +1,73 @@
+"""Fig. 3 — convergence of AVCC / LCC / uncoded under attack.
+
+Each bench regenerates one panel and asserts the paper's qualitative
+claims:
+
+* (a)/(c) ``M = 1``: all coded methods converge to the same accuracy;
+  AVCC gets there faster than LCC; uncoded is slowest and (being
+  attack-blind) converges lower.
+* (b)/(d) ``M = 2``: LCC's design capacity is exceeded — its accuracy
+  degrades below AVCC's; uncoded degrades further; the constant attack
+  (d) hurts more than the reverse-value attack (b).
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.experiments import run_fig3
+
+
+@pytest.mark.parametrize("panel", ["a", "b", "c", "d"])
+def test_fig3(benchmark, cfg, panel):
+    result = run_once(benchmark, run_fig3, panel, cfg)
+    print("\n" + result.render())
+
+    avcc = result.histories["avcc"]
+    lcc = result.histories["lcc"]
+    unc = result.histories["uncoded"]
+
+    # universal claims -------------------------------------------------
+    # AVCC is the accuracy ceiling: never beaten by a baseline
+    assert avcc.plateau_accuracy() >= lcc.plateau_accuracy() - 0.005
+    assert avcc.plateau_accuracy() >= unc.plateau_accuracy() - 0.005
+    # AVCC converges to a healthy model despite the attacks
+    assert avcc.plateau_accuracy() >= 0.88
+    # uncoded pays the straggler tail every iteration
+    assert unc.total_time > 2.5 * avcc.total_time
+
+    if panel in ("a", "c"):
+        # M=1: LCC corrects the lone attacker -> same accuracy as AVCC...
+        assert lcc.plateau_accuracy() == pytest.approx(
+            avcc.plateau_accuracy(), abs=0.01
+        )
+        # ...but AVCC finishes the run faster (Fig. 3a: "AVCC reaches
+        # this accuracy level faster than LCC")
+        assert avcc.total_time < lcc.total_time
+    else:
+        # M=2: LCC is poisoned beyond capacity and converges lower
+        assert lcc.plateau_accuracy() < avcc.plateau_accuracy() - 0.02
+        # uncoded (no detection at all) is the worst
+        assert unc.plateau_accuracy() < avcc.plateau_accuracy() - 0.04
+
+    if panel == "d":
+        # the constant attack is the stronger one (Sec. VI)
+        assert unc.plateau_accuracy() < 0.80
+
+
+def test_fig3_constant_attack_stronger_than_reverse(benchmark, cfg):
+    """Cross-panel claim: for every attack-blind/under-provisioned
+    method, the constant attack degrades accuracy at least as much as
+    the reverse-value attack (Sec. VI: 'the constant attack is a
+    stronger attack')."""
+
+    def run_both():
+        return run_fig3("b", cfg), run_fig3("d", cfg)
+
+    rev, const = run_once(benchmark, run_both)
+    assert const.histories["lcc"].plateau_accuracy() <= rev.histories[
+        "lcc"
+    ].plateau_accuracy() + 0.005
+    assert const.histories["uncoded"].plateau_accuracy() <= rev.histories[
+        "uncoded"
+    ].plateau_accuracy() + 0.005

@@ -1,0 +1,62 @@
+"""Fig. 4 — per-iteration runtime breakdown.
+
+Shape assertions:
+
+* (a) clean cluster: AVCC's verification+decoding is *extra* latency —
+  total(uncoded) <= total(LCC) <= total(AVCC), all within a few
+  percent (the paper plots them as nearly equal bars plus the small
+  verify/decode additions);
+* (b)/(c) with stragglers: "the decoding and verification overhead in
+  AVCC is dwarfed by the straggler latency" — uncoded's compute bar
+  dominates everything, and AVCC's verify+decode stays a small
+  fraction of its own iteration;
+* LCC never reports verification time (detection is inside decoding);
+  uncoded reports neither verification nor decoding.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.experiments import run_fig4
+
+
+@pytest.mark.parametrize("panel", ["a", "b", "c"])
+def test_fig4(benchmark, cfg, panel):
+    result = run_once(benchmark, run_fig4, panel, cfg.with_(iterations=15))
+    print("\n" + result.render())
+
+    avcc = result.breakdown["avcc"]
+    lcc = result.breakdown["lcc"]
+    unc = result.breakdown["uncoded"]
+
+    # category accounting invariants
+    assert avcc["verification"] > 0 and avcc["decoding"] > 0
+    assert lcc["verification"] == 0 and lcc["decoding"] > 0
+    assert unc["verification"] == 0 and unc["decoding"] == 0
+
+    if panel == "a":
+        # clean cluster: AVCC's integrity machinery is visible overhead
+        assert result.total("uncoded") <= result.total("lcc") <= result.total("avcc")
+        # ... but small: within 5% of the uncoded iteration time
+        assert result.total("avcc") < 1.05 * result.total("uncoded")
+    else:
+        # stragglers dominate: uncoded pays them, coded methods do not
+        assert result.total("uncoded") > 2.5 * result.total("avcc")
+        # AVCC's verification+decoding is dwarfed by compute+comm
+        overhead = avcc["verification"] + avcc["decoding"]
+        assert overhead < 0.1 * (avcc["compute"] + avcc["communication"])
+
+
+def test_fig4_verification_scales_with_checks_not_blocks(benchmark, cfg):
+    """Ablation on the O(m+d) verification claim: the per-iteration
+    verification time must be orders of magnitude below recomputing the
+    workers' O(md/K) products at the master."""
+    result = run_once(benchmark, run_fig4, "a", cfg.with_(iterations=5))
+    avcc = result.breakdown["avcc"]
+    # recomputing one worker's product at master rate would cost:
+    ds_cfg = cfg
+    m_train = int(ds_cfg.m * 0.75)
+    macs_per_worker = (m_train // ds_cfg.k) * ds_cfg.d
+    recompute = macs_per_worker * ds_cfg.master_sec_per_mac * ds_cfg.k
+    assert avcc["verification"] < 0.25 * recompute

@@ -1,0 +1,79 @@
+"""Ablation: the cost LCC pays for Byzantine tolerance.
+
+Berlekamp–Welch decoding cost as a function of the error budget — the
+concrete price of coupling detection to decoding, which AVCC's
+decoupling (cheap per-worker Freivalds checks) avoids. Also verifies
+the 2-errors-per-slack exchange rate end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coding import LagrangeCode
+from repro.ff import DecodingError, Poly, ReedSolomon, berlekamp_welch
+
+
+@pytest.mark.parametrize("n_err", [0, 1, 2, 4])
+def test_bw_cost_vs_errors(benchmark, field, rng, n_err):
+    """Fixed degree, growing error budget: receive enough symbols for
+    each budget and decode."""
+    deg = 8
+    n = deg + 1 + 2 * n_err + 1
+    coeffs = field.random(deg + 1, rng)
+    p = Poly(field, coeffs)
+    xs = field.distinct_points(n)
+    ys = p(xs).copy()
+    bad = rng.choice(n, size=n_err, replace=False) if n_err else []
+    for i in bad:
+        ys[i] = (ys[i] + 1 + rng.integers(field.q - 1)) % field.q
+
+    got, errs = benchmark(berlekamp_welch, field, xs, ys, deg)
+    assert got == p
+    assert set(errs.tolist()) == set(np.asarray(bad).tolist())
+
+
+def test_rs_block_decode_with_projection(benchmark, field, rng):
+    """Vector-symbol decode at GISETTE block width: one projection +
+    one scalar BW + erasure interpolation."""
+    n, k = 12, 9
+    code = LagrangeCode(field, n=n, k=k)
+    blocks = field.random((k, 667), rng)
+    shares = code.encode(blocks)
+    shares[4] = field.random(667, rng)  # one Byzantine share
+    idx = np.arange(11)  # one straggler
+
+    def decode():
+        return code.decode_corrected(idx, shares[:11], max_errors=1, rng=rng)
+
+    out, errs = benchmark(decode)
+    np.testing.assert_array_equal(out, blocks)
+    assert errs.tolist() == [4]
+
+
+def test_slack_exchange_rate(benchmark, field, rng):
+    """Each tolerated error consumes exactly two spare evaluations:
+    with 2e extra symbols e errors decode, with 2e-1 they cannot be
+    guaranteed."""
+    deg = 5
+
+    def check():
+        results = []
+        for e in (1, 2, 3):
+            p = Poly(field, field.random(deg + 1, rng))
+            n_ok = deg + 1 + 2 * e
+            xs = field.distinct_points(n_ok)
+            ys = p(xs).copy()
+            bad = rng.choice(n_ok, size=e, replace=False)
+            for i in bad:
+                ys[i] = (ys[i] + 7) % field.q
+            got, _ = berlekamp_welch(field, xs, ys, deg)
+            results.append(got == p)
+        return results
+
+    assert all(benchmark(check))
+
+
+def test_rs_insufficient_raises(field, rng):
+    rs = ReedSolomon(field, field.distinct_points(6), 5)
+    with pytest.raises(DecodingError):
+        rs.decode(np.arange(4), field.random((4, 3), rng), np.array([1]))

@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark suite.
+
+The paper-reproduction benches run the experiment harness at the
+calibrated default scale (m=1200, d=600, 12 workers) with 40 training
+iterations — enough for every plateau/crossover the paper reports while
+keeping the full suite in the minutes range. Each experiment runs once
+per bench (``pedantic`` with one round): the simulated clock inside is
+deterministic, so repetition adds wall time without adding information.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.ff import DEFAULT_PRIME, PrimeField
+
+
+@pytest.fixture(scope="session")
+def cfg():
+    return ExperimentConfig(iterations=40)
+
+
+@pytest.fixture(scope="session")
+def field():
+    return PrimeField(DEFAULT_PRIME)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20220322)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,74 @@
+"""Coded matrix-matrix multiplication with verification.
+
+The generalization the paper sketches in Sec. II/IV: polynomial codes
+(Yu et al.) give straggler-resilient distributed matmul; AVCC's
+decoupling adds Byzantine security at one extra worker per attacker by
+verifying each product with a Freivalds probe against the master's
+stored coded factors.
+
+Computes C = A @ B (240x200 times 200x180) over 9 workers with p=2,
+q=3 partitioning — each worker multiplies a (120x200)x(200x60) pair,
+1/6 of the work — while worker 1 straggles and worker 4 lies.
+
+Run:  python examples/coded_matmul.py
+"""
+
+import numpy as np
+
+from repro.core import CodedMatmulAVCCMaster
+from repro.ff import PrimeField, ff_matmul
+from repro.runtime import (
+    CostModel,
+    Honest,
+    RandomAttack,
+    SimCluster,
+    SimWorker,
+    make_profiles,
+)
+
+
+def main():
+    rng = np.random.default_rng(0)
+    field = PrimeField()
+    a = field.random((240, 200), rng)
+    b = field.random((200, 180), rng)
+
+    n, p, q = 9, 2, 3
+    profiles = make_profiles(n, straggler_factors={1: 12.0})
+    behaviors = {4: RandomAttack()}
+    workers = [
+        SimWorker(i, profile=profiles[i], behavior=behaviors.get(i, Honest()))
+        for i in range(n)
+    ]
+    cluster = SimCluster(
+        field,
+        workers,
+        cost_model=CostModel(worker_sec_per_mac=50e-9),
+        rng=rng,
+    )
+
+    master = CodedMatmulAVCCMaster(cluster, p=p, q=q, s=1, m=1)
+    setup_time = master.setup(a, b)
+    print(f"encoded A into {n} row-combined shares (deg {p - 1}) and B into "
+          f"{n} column-combined shares (deg {p * (q - 1)})")
+    print(f"recovery threshold: p*q = {p * q} verified products; "
+          f"worker budget N >= p*q + S + M = {p * q + 2}")
+    print(f"setup (shipping factors): {setup_time:.3f}s simulated\n")
+
+    out = master.multiply()
+    np.testing.assert_array_equal(out.vector, ff_matmul(field, a, b))
+
+    r = out.record
+    print(f"round finished at {r.t_end:.4f}s simulated")
+    print(f"  used workers:      {list(r.used_workers)}")
+    print(f"  rejected (lying):  {list(r.rejected_workers)}")
+    print(f"  verification time: {r.verify_time * 1e3:.3f} ms "
+          f"(vs ~{2 * 120 * 200 * 60 * 50e-9 * 1e3:.1f} ms to recompute two products)")
+    print(f"  decode time:       {r.decode_time * 1e3:.3f} ms")
+    print("\nC = A @ B recovered bit-exactly from the 6 fastest verified "
+          "products;\nthe straggler (worker 1) and the attacker (worker 4) "
+          "cost nothing but their own redundancy.")
+
+
+if __name__ == "__main__":
+    main()

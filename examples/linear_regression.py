@@ -1,0 +1,107 @@
+"""Distributed linear regression — the coded masters as a generic
+linear-computation service.
+
+Trains gradient descent on squared loss with the same two-round
+protocol (z = Xw, then g = X^T(z - y)) over AVCC, with one straggler
+and one Byzantine worker injected, and compares against the uncoded
+baseline. Also demonstrates the thread-pool backend: the same worker
+computation running on real threads with real wall-clock arrival order.
+
+Run:  python examples/linear_regression.py
+"""
+
+import numpy as np
+
+from repro.coding import SchemeParams, partition_rows
+from repro.core import AVCCMaster, UncodedMaster
+from repro.ff import PrimeField, ff_matvec
+from repro.ml import (
+    DistributedLinearRegressionTrainer,
+    LinRegConfig,
+    make_linreg_dataset,
+)
+from repro.runtime import (
+    ConstantAttack,
+    Honest,
+    SimCluster,
+    SimWorker,
+    make_profiles,
+)
+from repro.runtime.threaded import ThreadedCluster
+
+
+def make_cluster(behaviors=None, stragglers=None):
+    n = 12
+    profiles = make_profiles(n, stragglers or {})
+    behaviors = behaviors or {}
+    workers = [
+        SimWorker(i, profile=profiles[i], behavior=behaviors.get(i, Honest()))
+        for i in range(n)
+    ]
+    # compute-dominant cost constants so the straggler penalty is visible
+    # at this small demo scale (see repro.experiments.common for the
+    # calibration used by the paper reproductions)
+    from repro.runtime import CostModel
+
+    cm = CostModel(worker_sec_per_mac=2e-6, link_latency_s=1e-4)
+    return SimCluster(
+        PrimeField(), workers, cost_model=cm, rng=np.random.default_rng(4)
+    )
+
+
+def main():
+    ds = make_linreg_dataset(m=480, d=40, rng=np.random.default_rng(7))
+    cfg = LinRegConfig(iterations=30, learning_rate=0.01)
+    faults = dict(
+        behaviors={5: ConstantAttack(value=999)}, stragglers={0: 8.0}
+    )
+
+    print(f"dataset: {ds.name}; protocol: z = Xw, g = X^T(z - y)\n")
+
+    # ---- AVCC under faults -------------------------------------------
+    avcc = AVCCMaster(make_cluster(**faults), SchemeParams(n=12, k=8, s=2, m=1))
+    avcc.setup(ds.x_train)
+    t_avcc = DistributedLinearRegressionTrainer(avcc, ds, cfg)
+    h_avcc = t_avcc.train()
+
+    # ---- uncoded under the same faults --------------------------------
+    unc = UncodedMaster(make_cluster(**faults), k=8)
+    unc.setup(ds.x_train)
+    t_unc = DistributedLinearRegressionTrainer(unc, ds, cfg)
+    h_unc = t_unc.train()
+
+    print(f"{'method':8s} {'train MSE':>10s} {'test MSE':>10s} {'sim time':>9s}")
+    for name, t, h in (("avcc", t_avcc, h_avcc), ("uncoded", t_unc, h_unc)):
+        print(f"{name:8s} {h.train_loss[-1]:10.4f} {-h.test_acc[-1]:10.4f} "
+              f"{h.total_time:8.2f}s")
+    print("\nAVCC rejected the attacker and dodged the straggler; uncoded "
+          "absorbed both (higher loss, ~8x slower).\n")
+
+    # ---- bonus: the same computation on real threads -------------------
+    field = PrimeField()
+    x_q = field.asarray(ds.x_train[:400])
+    blocks = partition_rows(x_q, 8)
+    from repro.coding import LagrangeCode
+
+    code = LagrangeCode(field, n=12, k=8)
+    shares = code.encode(blocks)
+    workers = [
+        SimWorker(i, profile=make_profiles(12, {2: 5.0})[i], behavior=Honest())
+        for i in range(12)
+    ]
+    for w_obj, s in zip(workers, shares):
+        w_obj.store(share=s)
+    w_vec = field.random(ds.d, np.random.default_rng(0))
+    with ThreadedCluster(field, workers, straggle_scale=0.02) as pool:
+        arrivals = pool.run_round(lambda p: ff_matvec(field, p["share"], w_vec))
+    order = [a.worker_id for a in arrivals]
+    print(f"thread-pool backend arrival order (worker 2 slowed): {order}")
+    idx = np.array(order[:8])
+    vals = np.stack([a.value for a in arrivals[:8]])
+    decoded = code.decode(idx, vals).reshape(-1)
+    assert np.array_equal(decoded, ff_matvec(field, x_q, w_vec))
+    print("decoded from the 8 fastest real-thread results — bit-exact.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""T-privacy demo: training with colluding workers (Sec. IV-B).
+
+Deploys AVCC with T = 1 privacy padding on a 13-worker cluster
+(Eq. 2: N >= K + T - 1 + S + M + 1 = 13 for K=9, S=1, M=1, T=1):
+
+* shows that a colluding worker's coded share is statistically
+  indistinguishable between two completely different datasets
+  (information-theoretic masking by the random Lagrange padding W);
+* trains the same logistic model with and without privacy padding and
+  shows the learned weights are identical — privacy is free in terms
+  of accuracy, it only costs extra workers.
+
+Run:  python examples/private_inference.py
+"""
+
+import numpy as np
+
+from repro.coding import LagrangeCode, SchemeParams
+from repro.core import AVCCMaster
+from repro.ff import PrimeField
+from repro.ml import DistributedLogisticTrainer, LogisticConfig, make_gisette_like
+from repro.runtime import Honest, SimCluster, SimWorker, make_profiles
+
+
+def share_histogram_distance(field, code, data_a, data_b, worker, n_samples, rng):
+    """L1 distance between the empirical share distributions a single
+    colluding worker observes for two different datasets."""
+    q = field.q
+    counts = np.zeros((2, q), dtype=np.int64)
+    for j, data in enumerate((data_a, data_b)):
+        for _ in range(n_samples):
+            share = code.encode(data, rng)
+            counts[j, int(share[worker, 0])] += 1
+    p = counts / n_samples
+    return 0.5 * np.abs(p[0] - p[1]).sum()
+
+
+def main():
+    rng = np.random.default_rng(1)
+
+    # ---- statistical masking on a small field for visibility ---------
+    small = PrimeField(97)
+    code = LagrangeCode(small, n=5, k=2, t=1)
+    data_a = small.asarray([[3], [14]])
+    data_b = small.asarray([[92], [55]])
+    dist = share_histogram_distance(small, code, data_a, data_b, worker=0,
+                                    n_samples=4000, rng=rng)
+    print("T=1 masking (F_97, 4000 encodings each):")
+    print(f"  share-distribution distance between two datasets: {dist:.3f} "
+          f"(0 = perfectly indistinguishable)")
+    code_no_priv = LagrangeCode(small, n=5, k=2, t=0)
+    a0 = int(code_no_priv.encode(data_a)[3, 0])
+    b0 = int(code_no_priv.encode(data_b)[3, 0])
+    print(f"  without padding the shares differ deterministically: "
+          f"{a0} vs {b0}\n")
+
+    # ---- end-to-end private training ---------------------------------
+    ds = make_gisette_like(m=320, d=60, class_lift=0.9,
+                           rng=np.random.default_rng(9))
+    cfg = LogisticConfig(iterations=10, learning_rate=0.3, l_w=8, l_e=8)
+
+    def train(t, n):
+        workers = [SimWorker(i, profile=make_profiles(n)[i], behavior=Honest())
+                   for i in range(n)]
+        cluster = SimCluster(PrimeField(), workers, rng=np.random.default_rng(3))
+        master = AVCCMaster(cluster, SchemeParams(n=n, k=9, s=1, m=1, t=t))
+        master.setup(ds.x_train)
+        trainer = DistributedLogisticTrainer(master, ds, cfg)
+        hist = trainer.train()
+        return trainer.final_weights, hist
+
+    w_plain, h_plain = train(t=0, n=12)
+    w_priv, h_priv = train(t=1, n=13)
+
+    print("training with and without T=1 privacy padding:")
+    print(f"  T=0 (12 workers): final test acc {h_plain.final_test_acc:.3f}")
+    print(f"  T=1 (13 workers): final test acc {h_priv.final_test_acc:.3f}")
+    assert np.array_equal(w_plain, w_priv)
+    print("  learned weights are bit-identical — privacy costs one extra "
+          "worker (Eq. 2), not accuracy.")
+
+
+if __name__ == "__main__":
+    main()

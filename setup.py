@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+that ``python setup.py develop`` works on machines without the ``wheel``
+package (PEP 660 editable installs require it, ``develop`` does not).
+"""
+
+from setuptools import setup
+
+setup()

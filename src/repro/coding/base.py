@@ -1,0 +1,50 @@
+"""Shared block-partitioning helpers for the codecs.
+
+The paper's data model: a dataset ``X`` of ``m`` rows is split into
+``K`` equal row-blocks ``X_1 .. X_K`` (Sec. II-A). Codecs then operate
+on a stacked ``(K, m/K, d)`` array; flattening the trailing axes turns
+encoding/decoding into a single field matrix product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["partition_rows", "unpartition_rows", "stack_blocks"]
+
+
+def partition_rows(x: np.ndarray, k: int) -> np.ndarray:
+    """Split ``(m, ...)`` into ``(k, m/k, ...)`` row blocks.
+
+    The paper assumes ``K | m``; we enforce it rather than silently pad
+    (padding changes the computation the workers perform — callers that
+    want padding must do it explicitly and strip the rows afterwards).
+    """
+    x = np.asarray(x)
+    if x.ndim < 1:
+        raise ValueError("need at least 1 dimension to partition")
+    m = x.shape[0]
+    if k <= 0 or m % k != 0:
+        raise ValueError(f"cannot split {m} rows into {k} equal blocks")
+    return x.reshape(k, m // k, *x.shape[1:])
+
+
+def unpartition_rows(blocks: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`partition_rows`: ``(k, b, ...)`` -> ``(k*b, ...)``."""
+    blocks = np.asarray(blocks)
+    if blocks.ndim < 2:
+        raise ValueError("blocks must have at least 2 dimensions")
+    return blocks.reshape(blocks.shape[0] * blocks.shape[1], *blocks.shape[2:])
+
+
+def stack_blocks(blocks) -> np.ndarray:
+    """Stack a sequence of equal-shape blocks into one array, validating
+    shape agreement (codecs require identical block shapes)."""
+    arrs = [np.asarray(b) for b in blocks]
+    if not arrs:
+        raise ValueError("no blocks given")
+    shape = arrs[0].shape
+    for i, a in enumerate(arrs):
+        if a.shape != shape:
+            raise ValueError(f"block {i} has shape {a.shape}, expected {shape}")
+    return np.stack(arrs, axis=0)

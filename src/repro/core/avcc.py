@@ -1,0 +1,242 @@
+"""The AVCC master (paper Sec. IV).
+
+Per round, the master:
+
+1. broadcasts the operand and lets workers compute over their shares;
+2. **verifies each arrival independently** with its Freivalds key the
+   moment it lands (serialized on the master core — verification of a
+   result can start only when the previous check finished);
+3. stops as soon as the recovery threshold of *verified* results is
+   reached — Byzantine workers are rejected and "effectively treated
+   as stragglers" (Sec. IV-A step 4);
+4. decodes by Lagrange interpolation over the verified subset.
+
+``end_iteration`` runs the dynamic-coding policy: detected Byzantine
+workers are dropped from the pool (their redundancy is spent), and if
+the straggler population has eaten the code's slack the master switches
+to a pre-encoded smaller configuration, paying only the share re-ship
+time (Fig. 5's one-time bump).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.coding.scheme import SchemeParams
+from repro.core.base import FamilyState, MatvecMasterBase
+from repro.core.dynamic import AdaptivePolicy, EncodingCache
+from repro.core.results import AdaptationOutcome, InsufficientResultsError, RoundOutcome
+from repro.runtime.cluster import RoundResult, SimCluster
+from repro.verify.freivalds import FreivaldsVerifier, MatvecKey
+
+__all__ = ["AVCCMaster"]
+
+
+class AVCCMaster(MatvecMasterBase):
+    """Adaptive verifiable coded computing master.
+
+    Parameters
+    ----------
+    cluster:
+        The worker fleet (``cluster.n`` must equal ``scheme.n``).
+    scheme:
+        Deployment parameters; validated against Eq. (2).
+    probes:
+        Freivalds probes per check (1 in the paper).
+    adaptive:
+        ``False`` gives Static VCC (verification without re-coding).
+    """
+
+    name = "avcc"
+
+    def __init__(
+        self,
+        cluster: SimCluster,
+        scheme: SchemeParams,
+        probes: int = 1,
+        adaptive: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(cluster, rng)
+        if scheme.n != cluster.n:
+            raise ValueError(f"scheme.n={scheme.n} != cluster.n={cluster.n}")
+        scheme.validate_for("avcc")
+        if scheme.deg_f != 1:
+            raise ValueError(
+                "the matvec master serves deg_f=1 rounds; higher degrees use "
+                "the generalized verifier directly"
+            )
+        self.scheme = scheme
+        self.probes = probes
+        self.adaptive = adaptive
+        self.policy = AdaptivePolicy(mode="mds", deg_f=1)
+        self.verifier = FreivaldsVerifier(self.field, probes=probes)
+        self._cache: EncodingCache | None = None
+        self._cfg = None
+        self._code_pos: dict[int, int] = {}
+        self._keys: dict[str, dict[int, MatvecKey]] = {}
+
+    # ------------------------------------------------------------------
+    def setup(self, x_field: np.ndarray) -> float:
+        """Encode, distribute and key both families. Returns the
+        simulated seconds spent shipping shares."""
+        t0 = self.cluster.now
+        self._cache = EncodingCache(
+            self.field, x_field, t=self.scheme.t, probes=self.probes, rng=self.rng
+        )
+        self._install_config(self.scheme.n, self.scheme.k, self.active)
+        return self.cluster.now - t0
+
+    def _install_config(self, n: int, k: int, participants: list[int]) -> float:
+        """Ship config ``(n, k)`` shares to ``participants``; returns
+        the transfer time charged to the clock."""
+        assert self._cache is not None
+        cfg = self._cache.get(n, k)
+        t0 = self.cluster.now
+        self.cluster.distribute("fwd", cfg.fwd_shares, participants=participants)
+        self.cluster.distribute("bwd", cfg.bwd_shares, participants=participants)
+        self._cfg = cfg
+        self._code_pos = {wid: slot for slot, wid in enumerate(participants)}
+        self._keys = {
+            "fwd": {wid: cfg.fwd_keys[slot] for slot, wid in enumerate(participants)},
+            "bwd": {wid: cfg.bwd_keys[slot] for slot, wid in enumerate(participants)},
+        }
+        self._families = {
+            "fwd": FamilyState(
+                name="fwd",
+                true_len=cfg.m,
+                padded_len=cfg.m_pad,
+                operand_len=cfg.d,
+                operand_true_len=cfg.d,
+                block_rows=cfg.m_pad // k,
+                block_cols=cfg.d,
+            ),
+            "bwd": FamilyState(
+                name="bwd",
+                true_len=cfg.d,
+                padded_len=cfg.d_pad,
+                operand_len=cfg.m_pad,
+                operand_true_len=cfg.m,
+                block_rows=cfg.d_pad // k,
+                block_cols=cfg.m_pad,
+            ),
+        }
+        return self.cluster.now - t0
+
+    # ------------------------------------------------------------------
+    @property
+    def scheme_now(self) -> tuple[int, int]:
+        return (len(self.active), self._cfg.k if self._cfg else self.scheme.k)
+
+    def _round(self, family: str, operand) -> RoundOutcome:
+        if self._cfg is None:
+            raise RuntimeError("setup() must be called before rounds")
+        st = self._family(family)
+        operand = st.pad_operand(self.field, operand)
+        rr = self._run_family_round(family, operand)
+        keys = self._keys[family]
+        need = self._cfg.code.recovery_threshold()
+
+        verified, rejected, verify_time, t_verified = self._collect_verified(
+            rr, keys, operand, need
+        )
+        if len(verified) < need:
+            raise InsufficientResultsError(
+                f"{family} round: only {len(verified)} verified results, need {need}"
+            )
+
+        positions = [self._code_pos[a.worker_id] for a in verified]
+        values = np.stack([a.value for a in verified])
+        block_elems = st.block_rows
+        decode_time = self.cost_model.master_compute_time(
+            self.lagrange_decode_macs(need, self._cfg.k, block_elems)
+        )
+        blocks = self._cfg.code.decode(np.asarray(positions), values)
+        vec = self._strip(blocks, st.true_len)
+
+        t_end = t_verified + decode_time
+        self._iter_rejected.update(rejected)
+        self._note_stragglers(rr)
+        record = self._mk_record(
+            round_name=family,
+            rr=rr,
+            last_used=verified[-1],
+            t_end=t_end,
+            verify_time=verify_time,
+            decode_time=decode_time,
+            n_collected=len(verified) + len(rejected),
+            n_verified=len(verified),
+            rejected=rejected,
+            used=[a.worker_id for a in verified],
+        )
+        self.cluster.advance_to(t_end)
+        return RoundOutcome(vector=vec, record=record)
+
+    def _collect_verified(self, rr: RoundResult, keys, operand, need: int):
+        """Walk arrivals in time order, verifying each on the master
+        core, until ``need`` results pass. Returns
+        ``(verified_arrivals, rejected_ids, verify_work_time, t_done)``.
+        """
+        master_free = rr.t_start + rr.broadcast_time
+        verified = []
+        rejected: list[int] = []
+        verify_time = 0.0
+        t_done = math.inf
+        for a in rr.arrivals:
+            if not math.isfinite(a.t_arrival):
+                break
+            key = keys[a.worker_id]
+            vt = self.cost_model.master_compute_time(
+                self.verifier.check_cost_ops(key)
+            )
+            start = max(a.t_arrival, master_free)
+            master_free = start + vt
+            verify_time += vt
+            if self.verifier.check(key, operand, a.value):
+                verified.append(a)
+            else:
+                rejected.append(a.worker_id)
+            if len(verified) == need:
+                t_done = master_free
+                break
+        return verified, rejected, verify_time, t_done
+
+    # ------------------------------------------------------------------
+    def end_iteration(self) -> AdaptationOutcome:
+        m_t_ids = tuple(sorted(self._iter_rejected & set(self.active)))
+        s_t_ids = tuple(
+            sorted((self._iter_stragglers - self._iter_rejected) & set(self.active))
+        )
+        reencode_time = 0.0
+        dropped: tuple[int, ...] = ()
+
+        if self.adaptive and (m_t_ids or s_t_ids):
+            n_t = len(self.active)
+            k_t = self._cfg.k
+            decision = self.policy.decide(
+                n_t, k_t, m_t=len(m_t_ids), s_t=len(s_t_ids), t_t=self.scheme.t
+            )
+            if m_t_ids:
+                dropped = m_t_ids
+                self.active = [w for w in self.active if w not in self._iter_rejected]
+                self._code_pos = {
+                    w: p for w, p in self._code_pos.items() if w in self.active
+                }
+            if decision.reencode:
+                reencode_time = self._install_config(
+                    decision.new_n, decision.new_k, self.active
+                )
+
+        out = AdaptationOutcome(
+            reencode_time=reencode_time,
+            scheme=self.scheme_now,
+            dropped_workers=dropped,
+            observed_stragglers=s_t_ids,
+            detected_byzantine=m_t_ids,
+        )
+        self._iteration += 1
+        self._iter_rejected = set()
+        self._iter_stragglers = set()
+        return out

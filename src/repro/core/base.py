@@ -1,0 +1,246 @@
+"""Common machinery for all masters: padding, cost helpers, the
+broadcast-compute-collect round skeleton.
+
+Every master serves two encoded matrix *families* (paper Sec. IV-A):
+
+* ``fwd`` — row-blocks of ``X`` (``(m_pad/K, d)`` each), computing
+  ``z = X·w`` from worker products ``X~_i·w``;
+* ``bwd`` — row-blocks of ``X^T`` (``(d_pad/K, m_pad)`` each), computing
+  ``g = X^T·e`` from worker products ``(X^T)~_i·e``.
+
+Padding: GISETTE's ``m = 6000`` is not divisible by ``K = 9``, so rows
+(and columns for the transpose side) are zero-padded up to the next
+multiple of ``K``; zero rows decode to zeros and are stripped from the
+returned vectors, leaving the computation bit-identical to the unpadded
+one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.coding.base import unpartition_rows
+from repro.ff.field import PrimeField
+from repro.ff.linalg import ff_matvec
+from repro.runtime.cluster import Arrival, RoundResult, SimCluster
+from repro.runtime.trace import RoundRecord
+
+__all__ = ["pad_rows_to_multiple", "MatvecMasterBase", "FamilyState"]
+
+
+def pad_rows_to_multiple(x: np.ndarray, k: int) -> np.ndarray:
+    """Zero-pad the first axis of ``x`` up to a multiple of ``k``."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    m = x.shape[0]
+    pad = (-m) % k
+    if pad == 0:
+        return x
+    widths = [(0, pad)] + [(0, 0)] * (x.ndim - 1)
+    return np.pad(x, widths)
+
+
+@dataclass
+class FamilyState:
+    """Per-family bookkeeping (one for ``fwd``, one for ``bwd``)."""
+
+    name: str              # payload key on the workers
+    true_len: int          # m (fwd) or d (bwd): output length before padding
+    padded_len: int        # m_pad or d_pad
+    operand_len: int       # d (fwd) or m_pad (bwd): broadcast length
+    operand_true_len: int  # d (fwd) or m (bwd): operand length pre-padding
+    block_rows: int        # padded_len // k
+    block_cols: int        # columns of each share
+
+    def pad_operand(self, field, operand: np.ndarray) -> np.ndarray:
+        """Zero-extend a true-length operand to the broadcast length
+        (masters accept unpadded operands; padding is internal)."""
+        operand = field.asarray(operand)
+        if operand.shape == (self.operand_len,):
+            return operand
+        if operand.shape == (self.operand_true_len,):
+            return np.concatenate(
+                [operand, field.zeros(self.operand_len - self.operand_true_len)]
+            )
+        raise ValueError(
+            f"{self.name} operand must have length {self.operand_true_len} "
+            f"(or padded {self.operand_len}), got {operand.shape}"
+        )
+
+
+class MatvecMasterBase:
+    """Skeleton shared by AVCC, LCC, uncoded and Static VCC masters.
+
+    Subclasses implement ``_collect`` (their waiting/verification
+    policy) and ``setup``; the round-driving logic here is common.
+    """
+
+    name = "base"
+
+    #: a worker is observed as a straggler when its arrival latency
+    #: exceeds this multiple of the round's median latency. The paper
+    #: does not specify its detector; a robust median-ratio test flags
+    #: exactly the "order of magnitude" slowdowns it describes while
+    #: ignoring benign jitter.
+    straggler_ratio = 2.0
+
+    def __init__(self, cluster: SimCluster, rng: np.random.Generator | None = None):
+        self.cluster = cluster
+        self.field: PrimeField = cluster.field
+        self.cost_model = cluster.cost_model
+        self.rng = rng or np.random.default_rng(0)
+        #: worker ids participating, in code-position order
+        self.active: list[int] = list(range(cluster.n))
+        self._families: dict[str, FamilyState] = {}
+        self._iteration = 0
+        # per-iteration observation scratch (reset by end_iteration)
+        self._iter_rejected: set[int] = set()
+        self._iter_stragglers: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # helpers for subclasses
+    # ------------------------------------------------------------------
+    def _position_of(self, worker_id: int) -> int:
+        """Code position (index into alpha points) of a worker."""
+        return self.active.index(worker_id)
+
+    def _family(self, family: str) -> FamilyState:
+        try:
+            return self._families[family]
+        except KeyError:
+            raise ValueError(f"unknown family {family!r}; call setup() first") from None
+
+    def _run_family_round(self, family: str, operand: np.ndarray) -> RoundResult:
+        st = self._family(family)
+        operand = self.field.asarray(operand)
+        if operand.shape != (st.operand_len,):
+            raise ValueError(
+                f"{family} operand must have length {st.operand_len}, got {operand.shape}"
+            )
+        fam_key = st.name
+        return self.cluster.run_round(
+            compute=lambda p, _k=fam_key, _op=operand: ff_matvec(self.field, p[_k], _op),
+            macs=lambda p, _k=fam_key: int(np.asarray(p[_k]).size),
+            broadcast_elements=st.operand_len,
+            participants=self.active,
+        )
+
+    def _note_stragglers(self, rr: RoundResult) -> None:
+        """Latency-based straggler observation.
+
+        A worker is flagged when its broadcast-to-arrival latency
+        exceeds ``straggler_ratio`` times the round's median latency
+        (silent workers are always flagged). Note that a straggler the
+        master *waited for* still counts — that is what makes the
+        Fig. 5 scenario observe ``S_t = 3`` even though only two
+        stragglers went unused.
+        """
+        bcast_done = rr.t_start + rr.broadcast_time
+        finite = [a for a in rr.arrivals if math.isfinite(a.t_arrival)]
+        for a in rr.arrivals:
+            if not math.isfinite(a.t_arrival):
+                self._iter_stragglers.add(a.worker_id)
+        if not finite:
+            return
+        latencies = np.array([a.t_arrival - bcast_done for a in finite])
+        med = float(np.median(latencies))
+        if med <= 0.0:
+            return
+        for a, lat in zip(finite, latencies):
+            if lat > self.straggler_ratio * med:
+                self._iter_stragglers.add(a.worker_id)
+
+    def _mk_record(
+        self,
+        round_name: str,
+        rr: RoundResult,
+        last_used: Arrival,
+        t_end: float,
+        verify_time: float,
+        decode_time: float,
+        n_collected: int,
+        n_verified: int,
+        rejected: Sequence[int],
+        used: Sequence[int],
+    ) -> RoundRecord:
+        bcast_done = rr.t_start + rr.broadcast_time
+        compute_wait = max(0.0, last_used.t_arrival - bcast_done - last_used.comm_time)
+        return RoundRecord(
+            iteration=self._iteration,
+            round_name=round_name,
+            t_start=rr.t_start,
+            t_end=t_end,
+            compute_wait=compute_wait,
+            comm_time=rr.broadcast_time + last_used.comm_time,
+            verify_time=verify_time,
+            decode_time=decode_time,
+            n_collected=n_collected,
+            n_verified=n_verified,
+            n_rejected=len(rejected),
+            rejected_workers=tuple(rejected),
+            used_workers=tuple(used),
+        )
+
+    @staticmethod
+    def _strip(blocks: np.ndarray, true_len: int) -> np.ndarray:
+        """Concatenate decoded blocks and strip zero padding."""
+        return unpartition_rows(blocks)[:true_len]
+
+    # ------------------------------------------------------------------
+    # cost formulas (documented in DESIGN.md; drive simulated timing)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def lagrange_decode_macs(n_used: int, k: int, block_elems: int) -> int:
+        """Interpolate-and-evaluate decode: basis build ``O(R^2)`` plus
+        the ``(k, R) @ (R, block)`` application."""
+        return n_used * n_used + k * n_used * block_elems
+
+    @staticmethod
+    def bw_decode_macs(n_received: int, degree: int, budget: int, block_elems: int) -> int:
+        """Berlekamp–Welch cost: random projection over the blocks, the
+        ``(D + 2e + 1)^3 / 3`` Gaussian solve, residual re-evaluation,
+        and the final erasure interpolation."""
+        dim = degree + 2 * budget + 1
+        solve = dim**3 // 3
+        proj = n_received * block_elems
+        resid = n_received * (degree + budget)
+        return proj + solve + resid
+
+    # ------------------------------------------------------------------
+    # interface
+    # ------------------------------------------------------------------
+    def setup(self, x_field: np.ndarray) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def forward_round(self, w):
+        return self._round("fwd", w)
+
+    def backward_round(self, e):
+        return self._round("bwd", e)
+
+    def _round(self, family: str, operand):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def end_iteration(self):
+        """Default: advance the iteration counter, no adaptation."""
+        from repro.core.results import AdaptationOutcome
+
+        out = AdaptationOutcome(
+            reencode_time=0.0,
+            scheme=self.scheme_now,
+            dropped_workers=(),
+            observed_stragglers=tuple(sorted(self._iter_stragglers - self._iter_rejected)),
+            detected_byzantine=tuple(sorted(self._iter_rejected)),
+        )
+        self._iteration += 1
+        self._iter_rejected = set()
+        self._iter_stragglers = set()
+        return out
+
+    @property
+    def scheme_now(self) -> tuple[int, int]:  # pragma: no cover - abstract
+        raise NotImplementedError

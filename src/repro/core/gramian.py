@@ -1,0 +1,168 @@
+"""Generalized AVCC: a degree-2 (gramian) coded computation.
+
+The matvec masters serve ``deg f = 1`` rounds. This master demonstrates
+the paper's generalization claim (Sec. IV-B: "in principle, AVCC can be
+applied to any polynomial f") on the canonical degree-2 workload:
+
+    g = X^T X w = sum_j X_j^T X_j w,      f(X_j) = X_j^T X_j w.
+
+Workers hold a single coded share ``X~_i`` and return both the
+intermediate ``z~_i = X~_i w`` and the gramian product
+``g~_i = X~_i^T z~_i``. Because ``f`` has degree 2 in the share, the
+master needs ``(K + T - 1)·2 + 1`` *verified* evaluations (Eq. 14) —
+which is exactly what :class:`~repro.coding.scheme.SchemeParams` with
+``deg_f = 2`` accounts for — and verification uses the two-stage
+Freivalds protocol (both stages are linear, soundness ``2/q``).
+
+One-round linear regression: ``∇ = (X^T X w − X^T y)/m`` where the
+constant ``X^T y`` is computed once at setup.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.coding.base import partition_rows
+from repro.coding.lcc import LagrangeCode
+from repro.coding.scheme import SchemeParams
+from repro.core.base import MatvecMasterBase, pad_rows_to_multiple
+from repro.core.results import InsufficientResultsError, RoundOutcome
+from repro.ff.linalg import ff_matvec
+from repro.runtime.cluster import SimCluster
+from repro.verify.twostage import TwoStageVerifier
+
+__all__ = ["GramianAVCCMaster"]
+
+
+class GramianAVCCMaster(MatvecMasterBase):
+    """AVCC master for the degree-2 computation ``g = X^T X w``."""
+
+    name = "gramian_avcc"
+
+    def __init__(
+        self,
+        cluster: SimCluster,
+        scheme: SchemeParams,
+        probes: int = 1,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(cluster, rng)
+        if scheme.n != cluster.n:
+            raise ValueError(f"scheme.n={scheme.n} != cluster.n={cluster.n}")
+        if scheme.deg_f != 2:
+            raise ValueError("GramianAVCCMaster requires deg_f=2 in the scheme")
+        scheme.validate_for("avcc")
+        self.scheme = scheme
+        self.verifier = TwoStageVerifier(self.field, probes=probes)
+        self._code: LagrangeCode | None = None
+        self._keys = None
+        self._m = 0
+        self._m_pad = 0
+        self._d = 0
+
+    # ------------------------------------------------------------------
+    def setup(self, x_field: np.ndarray) -> float:
+        t0 = self.cluster.now
+        x = self.field.asarray(x_field)
+        if x.ndim != 2:
+            raise ValueError("dataset must be a matrix")
+        self._m, self._d = x.shape
+        k = self.scheme.k
+        x_pad = pad_rows_to_multiple(x, k)
+        self._m_pad = x_pad.shape[0]
+        self._code = LagrangeCode(
+            self.field, n=self.scheme.n, k=k, t=self.scheme.t
+        )
+        shares = self._code.encode(
+            partition_rows(x_pad, k), self.rng if self.scheme.t else None
+        )
+        self.cluster.distribute("gram", shares, participants=self.active)
+        self._keys = {
+            wid: self.verifier.keygen_single(shares[slot], self.rng)
+            for slot, wid in enumerate(self.active)
+        }
+        return self.cluster.now - t0
+
+    @property
+    def scheme_now(self) -> tuple[int, int]:
+        return (len(self.active), self.scheme.k)
+
+    # ------------------------------------------------------------------
+    def gramian_round(self, w) -> RoundOutcome:
+        """One coded round computing ``X^T X w`` (padding-transparent)."""
+        if self._code is None:
+            raise RuntimeError("setup() must be called before rounds")
+        field = self.field
+        w = field.asarray(w)
+        if w.shape != (self._d,):
+            raise ValueError(f"operand must have length {self._d}, got {w.shape}")
+        b = self._m_pad // self.scheme.k
+        d = self._d
+
+        def compute(payload, _w=w):
+            share = payload["gram"]
+            z = ff_matvec(field, share, _w)
+            g = ff_matvec(field, share.T, z)
+            return np.concatenate([z, g])
+
+        rr = self.cluster.run_round(
+            compute=compute,
+            macs=lambda p: 2 * int(np.asarray(p["gram"]).size),
+            broadcast_elements=d,
+            participants=self.active,
+        )
+
+        need = self._code.recovery_threshold(deg_f=2)
+        master_free = rr.t_start + rr.broadcast_time
+        verified, rejected, verify_time = [], [], 0.0
+        t_done = math.inf
+        for a in rr.arrivals:
+            if not math.isfinite(a.t_arrival):
+                break
+            key = self._keys[a.worker_id]
+            vt = self.cost_model.master_compute_time(
+                self.verifier.check_cost_ops(key)
+            )
+            start = max(a.t_arrival, master_free)
+            master_free = start + vt
+            verify_time += vt
+            z_i, g_i = a.value[:b], a.value[b:]
+            if self.verifier.check(key, w, z_i, g_i):
+                verified.append(a)
+            else:
+                rejected.append(a.worker_id)
+            if len(verified) == need:
+                t_done = master_free
+                break
+        if len(verified) < need:
+            raise InsufficientResultsError(
+                f"gramian round: {len(verified)} verified results, need {need}"
+            )
+
+        positions = np.asarray([self.active.index(a.worker_id) for a in verified])
+        g_vals = np.stack([a.value[b:] for a in verified])
+        decode_time = self.cost_model.master_compute_time(
+            self.lagrange_decode_macs(need, self.scheme.k, d)
+        )
+        blocks = self._code.decode(positions, g_vals, deg_f=2)   # (k, d)
+        g = blocks.sum(axis=0) % field.q
+
+        t_end = t_done + decode_time
+        self._iter_rejected.update(rejected)
+        self._note_stragglers(rr)
+        record = self._mk_record(
+            round_name="gramian",
+            rr=rr,
+            last_used=verified[-1],
+            t_end=t_end,
+            verify_time=verify_time,
+            decode_time=decode_time,
+            n_collected=len(verified) + len(rejected),
+            n_verified=len(verified),
+            rejected=rejected,
+            used=[a.worker_id for a in verified],
+        )
+        self.cluster.advance_to(t_end)
+        return RoundOutcome(vector=g, record=record)

@@ -1,0 +1,142 @@
+"""The LCC baseline master (paper Sec. II / Sec. V).
+
+Differences from AVCC, exactly as the paper characterizes them:
+
+* **No per-worker verification.** Byzantine detection is coupled to
+  decoding: the master waits for ``N − S`` results (it "has to wait for
+  the results of a sufficient number of workers before identifying the
+  Byzantine workers", Remark 1) and runs Reed–Solomon error correction.
+* **2M worker overhead.** With the experimental ``(12, 9, S=1, M=1)``
+  deployment, 11 received results give slack 2 → exactly one
+  correctable error. A second simultaneous attacker exceeds capacity:
+  Berlekamp–Welch fails and the baseline falls back to erasure-decoding
+  the fastest ``K`` results, silently ingesting poison — which is how
+  the paper's Fig. 3(b)/(d) accuracy degradation arises.
+* **Static.** The worker pool and code never change.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.coding.scheme import SchemeParams
+from repro.core.base import FamilyState, MatvecMasterBase
+from repro.core.dynamic import EncodingCache
+from repro.core.results import InsufficientResultsError, RoundOutcome
+from repro.ff.rs import DecodingError
+from repro.runtime.cluster import SimCluster
+
+__all__ = ["LCCMaster"]
+
+
+class LCCMaster(MatvecMasterBase):
+    """Lagrange coded computing with Reed–Solomon Byzantine tolerance."""
+
+    name = "lcc"
+
+    def __init__(
+        self,
+        cluster: SimCluster,
+        scheme: SchemeParams,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(cluster, rng)
+        if scheme.n != cluster.n:
+            raise ValueError(f"scheme.n={scheme.n} != cluster.n={cluster.n}")
+        scheme.validate_for("lcc")
+        if scheme.deg_f != 1:
+            raise ValueError("the matvec master serves deg_f=1 rounds")
+        self.scheme = scheme
+        self._cfg = None
+
+    # ------------------------------------------------------------------
+    def setup(self, x_field: np.ndarray) -> float:
+        t0 = self.cluster.now
+        cache = EncodingCache(
+            self.field, x_field, t=self.scheme.t, rng=self.rng, build_keys=False
+        )
+        cfg = cache.get(self.scheme.n, self.scheme.k)
+        self.cluster.distribute("fwd", cfg.fwd_shares, participants=self.active)
+        self.cluster.distribute("bwd", cfg.bwd_shares, participants=self.active)
+        self._cfg = cfg
+        k = self.scheme.k
+        self._families = {
+            "fwd": FamilyState(
+                name="fwd", true_len=cfg.m, padded_len=cfg.m_pad,
+                operand_len=cfg.d, operand_true_len=cfg.d,
+                block_rows=cfg.m_pad // k, block_cols=cfg.d,
+            ),
+            "bwd": FamilyState(
+                name="bwd", true_len=cfg.d, padded_len=cfg.d_pad,
+                operand_len=cfg.m_pad, operand_true_len=cfg.m,
+                block_rows=cfg.d_pad // k, block_cols=cfg.m_pad,
+            ),
+        }
+        return self.cluster.now - t0
+
+    @property
+    def scheme_now(self) -> tuple[int, int]:
+        return (self.scheme.n, self.scheme.k)
+
+    # ------------------------------------------------------------------
+    def _round(self, family: str, operand) -> RoundOutcome:
+        if self._cfg is None:
+            raise RuntimeError("setup() must be called before rounds")
+        st = self._family(family)
+        operand = st.pad_operand(self.field, operand)
+        rr = self._run_family_round(family, operand)
+
+        need = self._cfg.code.recovery_threshold()
+        wait_count = self.scheme.n - self.scheme.s
+        finite = [a for a in rr.arrivals if math.isfinite(a.t_arrival)]
+        if len(finite) < need:
+            raise InsufficientResultsError(
+                f"{family} round: {len(finite)} results < threshold {need}"
+            )
+        collected = finite[: min(wait_count, len(finite))]
+        t_wait = collected[-1].t_arrival
+
+        positions = np.asarray([self._code_pos(a.worker_id) for a in collected])
+        values = np.stack([a.value for a in collected])
+        degree = self._cfg.k + self.scheme.t - 1
+        budget = min(self.scheme.m, (len(collected) - need) // 2)
+        decode_macs = self.bw_decode_macs(
+            len(collected), degree, budget, st.block_rows
+        ) + self.lagrange_decode_macs(need, self._cfg.k, st.block_rows)
+        decode_time = self.cost_model.master_compute_time(decode_macs)
+
+        rejected: list[int] = []
+        try:
+            blocks, err_pos = self._cfg.code.decode_corrected(
+                positions, values, max_errors=self.scheme.m, rng=self.rng
+            )
+            rejected = [collected[int(i)].worker_id for i in err_pos]
+        except DecodingError:
+            # Error volume beyond design capacity: decode the fastest
+            # K results without correction (poisoned, but the master
+            # cannot know — exactly the paper's degradation mode).
+            blocks = self._cfg.code.decode(positions[:need], values[:need])
+
+        vec = self._strip(blocks, st.true_len)
+        t_end = t_wait + decode_time
+        self._iter_rejected.update(rejected)
+        self._note_stragglers(rr)
+        record = self._mk_record(
+            round_name=family,
+            rr=rr,
+            last_used=collected[-1],
+            t_end=t_end,
+            verify_time=0.0,  # detection is inside decoding for LCC
+            decode_time=decode_time,
+            n_collected=len(collected),
+            n_verified=len(collected) - len(rejected),
+            rejected=rejected,
+            used=[a.worker_id for a in collected],
+        )
+        self.cluster.advance_to(t_end)
+        return RoundOutcome(vector=vec, record=record)
+
+    def _code_pos(self, worker_id: int) -> int:
+        return self.active.index(worker_id)

@@ -1,0 +1,57 @@
+"""Shared result/outcome records for the coded masters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runtime.trace import RoundRecord
+
+__all__ = ["RoundOutcome", "AdaptationOutcome", "InsufficientResultsError"]
+
+
+class InsufficientResultsError(RuntimeError):
+    """Raised when a master cannot gather enough (verified) results to
+    decode — more failures than the deployed scheme tolerates."""
+
+
+@dataclass(frozen=True)
+class RoundOutcome:
+    """Product of one coded round.
+
+    Attributes
+    ----------
+    vector:
+        The decoded full-length result (padding stripped), in F_q.
+    record:
+        Timing/accounting for the round.
+    """
+
+    vector: np.ndarray
+    record: RoundRecord
+
+
+@dataclass(frozen=True)
+class AdaptationOutcome:
+    """What ``end_iteration`` did (AVCC's dynamic coding step).
+
+    Attributes
+    ----------
+    reencode_time:
+        Simulated seconds spent re-shipping shares (0 when no re-code).
+    scheme:
+        The ``(N_t, K_t)`` in effect *after* adaptation.
+    dropped_workers:
+        Byzantine workers removed from the pool this iteration.
+    observed_stragglers:
+        ``S_t``: workers whose results the master never used.
+    detected_byzantine:
+        ``M_t``: workers that failed verification this iteration.
+    """
+
+    reencode_time: float = 0.0
+    scheme: tuple[int, int] = (0, 0)
+    dropped_workers: tuple[int, ...] = ()
+    observed_stragglers: tuple[int, ...] = ()
+    detected_byzantine: tuple[int, ...] = ()

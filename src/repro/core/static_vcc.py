@@ -1,0 +1,37 @@
+"""Static VCC — the Fig. 5 ablation.
+
+"Static VCC is a constrained version of AVCC, where the verification
+mechanism is still available to mitigate Byzantine nodes, but the
+dynamic coding is removed so that the coding scheme will not change
+throughout the execution" (Sec. VI).
+
+Implementation: an :class:`~repro.core.avcc.AVCCMaster` constructed
+with ``adaptive=False`` — it still rejects Byzantine results per-worker
+but never drops workers nor re-encodes, so once stragglers outnumber
+the scheme's slack it pays their tail latency every iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.scheme import SchemeParams
+from repro.core.avcc import AVCCMaster
+from repro.runtime.cluster import SimCluster
+
+__all__ = ["StaticVCCMaster"]
+
+
+class StaticVCCMaster(AVCCMaster):
+    """AVCC without the adaptation step."""
+
+    name = "static_vcc"
+
+    def __init__(
+        self,
+        cluster: SimCluster,
+        scheme: SchemeParams,
+        probes: int = 1,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(cluster, scheme, probes=probes, adaptive=False, rng=rng)

@@ -1,0 +1,118 @@
+"""The uncoded baseline (paper Sec. V).
+
+"No redundancy and only 9 out of the 12 workers participate in the
+computation, each of them storing and processing 1/9 fraction of
+uncoded rows from the input matrix. The main server waits for all 9
+workers to return, and does not need to perform decoding."
+
+Consequences the experiments measure: full exposure to stragglers
+(the slowest of the K workers gates every round) and to Byzantine
+workers (corrupted blocks flow straight into the result).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.coding.base import partition_rows
+from repro.core.base import FamilyState, MatvecMasterBase, pad_rows_to_multiple
+from repro.core.results import InsufficientResultsError, RoundOutcome
+from repro.runtime.cluster import SimCluster
+
+__all__ = ["UncodedMaster"]
+
+
+class UncodedMaster(MatvecMasterBase):
+    """Replication-free distributed matvec over ``k`` workers."""
+
+    name = "uncoded"
+
+    def __init__(
+        self,
+        cluster: SimCluster,
+        k: int,
+        participants: Sequence[int] | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(cluster, rng)
+        if not 1 <= k <= cluster.n:
+            raise ValueError(f"k={k} out of range for cluster of {cluster.n}")
+        self.k = k
+        if participants is None:
+            participants = list(range(k))
+        participants = list(participants)
+        if len(participants) != k:
+            raise ValueError(f"need exactly k={k} participants")
+        self.active = participants
+        self._dims: tuple[int, int, int, int] | None = None
+
+    # ------------------------------------------------------------------
+    def setup(self, x_field: np.ndarray) -> float:
+        t0 = self.cluster.now
+        x = self.field.asarray(x_field)
+        m, d = x.shape
+        x_pad = pad_rows_to_multiple(x, self.k)
+        xt_pad = pad_rows_to_multiple(np.ascontiguousarray(x_pad.T), self.k)
+        m_pad, d_pad = x_pad.shape[0], xt_pad.shape[0]
+        self.cluster.distribute(
+            "fwd", partition_rows(x_pad, self.k), participants=self.active
+        )
+        self.cluster.distribute(
+            "bwd", partition_rows(xt_pad, self.k), participants=self.active
+        )
+        self._dims = (m, d, m_pad, d_pad)
+        self._families = {
+            "fwd": FamilyState(
+                name="fwd", true_len=m, padded_len=m_pad,
+                operand_len=d, operand_true_len=d,
+                block_rows=m_pad // self.k, block_cols=d,
+            ),
+            "bwd": FamilyState(
+                name="bwd", true_len=d, padded_len=d_pad,
+                operand_len=m_pad, operand_true_len=m,
+                block_rows=d_pad // self.k, block_cols=m_pad,
+            ),
+        }
+        return self.cluster.now - t0
+
+    @property
+    def scheme_now(self) -> tuple[int, int]:
+        return (self.k, self.k)
+
+    # ------------------------------------------------------------------
+    def _round(self, family: str, operand) -> RoundOutcome:
+        if self._dims is None:
+            raise RuntimeError("setup() must be called before rounds")
+        st = self._family(family)
+        operand = st.pad_operand(self.field, operand)
+        rr = self._run_family_round(family, operand)
+
+        finite = [a for a in rr.arrivals if math.isfinite(a.t_arrival)]
+        if len(finite) < self.k:
+            raise InsufficientResultsError(
+                f"{family} round: a worker died; uncoded cannot proceed"
+            )
+        # waits for ALL k workers — the last arrival gates the round
+        t_end = finite[-1].t_arrival
+        by_position = sorted(finite, key=lambda a: self.active.index(a.worker_id))
+        blocks = np.stack([a.value for a in by_position])
+        vec = self._strip(blocks, st.true_len)
+        self._note_stragglers(rr)
+
+        record = self._mk_record(
+            round_name=family,
+            rr=rr,
+            last_used=finite[-1],
+            t_end=t_end,
+            verify_time=0.0,
+            decode_time=0.0,
+            n_collected=self.k,
+            n_verified=self.k,  # nothing is ever checked
+            rejected=[],
+            used=[a.worker_id for a in by_position],
+        )
+        self.cluster.advance_to(t_end)
+        return RoundOutcome(vector=vec, record=record)

@@ -1,0 +1,38 @@
+"""Experiment harness: one module per paper table/figure.
+
+========  =======================================================
+fig3      convergence (accuracy vs time) under both attacks,
+          both (S, M) splits — Fig. 3(a)–(d)
+table1    end-to-end speedups of AVCC over LCC/uncoded — Table I
+fig4      per-iteration cost breakdown — Fig. 4(a)–(c)
+fig5      AVCC vs Static VCC with dynamic re-coding — Fig. 5
+========  =======================================================
+
+All experiments run on the deterministic simulator with the
+calibration documented in :class:`ExperimentConfig` (cost constants
+matched to the paper's Atom-class testbed running interpreted field
+arithmetic over 1 GbE with serialization overhead).
+"""
+
+from repro.experiments.common import ExperimentConfig, build_cluster, run_training
+from repro.experiments.fig3 import FIG3_SETTINGS, Fig3Result, run_fig3
+from repro.experiments.fig4 import Fig4Result, run_fig4
+from repro.experiments.fig5 import Fig5Result, run_fig5
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.report import format_table
+
+__all__ = [
+    "ExperimentConfig",
+    "FIG3_SETTINGS",
+    "Fig3Result",
+    "Fig4Result",
+    "Fig5Result",
+    "Table1Result",
+    "build_cluster",
+    "format_table",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_table1",
+    "run_training",
+]

@@ -1,0 +1,59 @@
+"""Reproduce every table and figure in one go.
+
+Usage::
+
+    python -m repro.experiments            # everything, default scale
+    python -m repro.experiments --fast     # 15-iteration smoke pass
+"""
+
+import sys
+import time
+
+from repro.experiments import (
+    ExperimentConfig,
+    FIG3_SETTINGS,
+    run_fig4,
+    run_fig5,
+    run_table1,
+)
+from repro.experiments.fig4 import FIG4_SETTINGS
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    iterations = 15 if "--fast" in argv else 50
+    cfg = ExperimentConfig(iterations=iterations)
+    t0 = time.perf_counter()
+
+    print("=" * 72)
+    print("Table I — end-to-end speedups")
+    print("=" * 72)
+    table1 = run_table1(cfg)
+    print(table1.render())
+
+    print()
+    print("=" * 72)
+    print("Fig. 3 — convergence under attack")
+    print("=" * 72)
+    for panel in FIG3_SETTINGS:
+        print(table1.panels[panel].render())
+        print()
+
+    print("=" * 72)
+    print("Fig. 4 — per-iteration cost breakdown")
+    print("=" * 72)
+    for panel in FIG4_SETTINGS:
+        print(run_fig4(panel, cfg.with_(iterations=min(iterations, 15))).render())
+        print()
+
+    print("=" * 72)
+    print("Fig. 5 — dynamic coding vs Static VCC")
+    print("=" * 72)
+    print(run_fig5(cfg).render())
+
+    print(f"\nall artifacts regenerated in {time.perf_counter() - t0:.1f}s wall time")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""Fig. 3 — convergence performance under attack.
+
+Four panels, each training AVCC, LCC and uncoded for 50 iterations on
+the GISETTE-like workload:
+
+* (a) reverse-value attack, ``S = 2, M = 1``
+* (b) reverse-value attack, ``S = 1, M = 2``
+* (c) constant attack,     ``S = 2, M = 1``
+* (d) constant attack,     ``S = 1, M = 2``
+
+The deployments mirror Sec. V exactly: LCC is designed for
+``(12, 9, S=1, M=1)``; AVCC runs ``(12, 9)`` with the panel's
+``S + M <= 3`` split; uncoded uses 9 of the 12 workers. The expected
+shapes (Sec. VI): all methods tie on accuracy when ``M = 1`` (with
+AVCC fastest); with ``M = 2`` LCC's accuracy degrades and uncoded
+degrades further, while AVCC is unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentConfig, run_training
+from repro.experiments.report import format_series
+from repro.ml.trainer import TrainingHistory
+
+__all__ = ["FIG3_SETTINGS", "Fig3Result", "run_fig3"]
+
+#: panel -> (attack kind, S, M)
+FIG3_SETTINGS: dict[str, tuple[str, int, int]] = {
+    "a": ("reverse", 2, 1),
+    "b": ("reverse", 1, 2),
+    "c": ("constant", 2, 1),
+    "d": ("constant", 1, 2),
+}
+
+METHODS = ("avcc", "lcc", "uncoded")
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    panel: str
+    attack: str
+    s: int
+    m: int
+    histories: dict[str, TrainingHistory]
+
+    def plateau(self, method: str) -> float:
+        return self.histories[method].plateau_accuracy()
+
+    def render(self) -> str:
+        lines = [
+            f"Fig. 3({self.panel}): {self.attack} attack, S={self.s}, M={self.m}",
+        ]
+        for method in METHODS:
+            h = self.histories[method]
+            lines.append(
+                "  "
+                + format_series(f"{method:8s}", h.times, h.test_acc, points=8)
+            )
+            lines.append(
+                f"  {method:8s} plateau={h.plateau_accuracy():.3f} "
+                f"total={h.total_time:.2f}s"
+            )
+        return "\n".join(lines)
+
+
+def run_fig3(panel: str, cfg: ExperimentConfig | None = None) -> Fig3Result:
+    """Reproduce one panel of Fig. 3."""
+    if panel not in FIG3_SETTINGS:
+        raise ValueError(f"panel must be one of {sorted(FIG3_SETTINGS)}")
+    cfg = cfg or ExperimentConfig()
+    attack, s, m = FIG3_SETTINGS[panel]
+    dataset = cfg.dataset()
+    histories = {}
+    for method in METHODS:
+        history, _ = run_training(
+            method, cfg, dataset, s=s, m=m, attack=attack
+        )
+        histories[method] = history
+    return Fig3Result(panel=panel, attack=attack, s=s, m=m, histories=histories)
+
+
+def main():  # pragma: no cover - CLI entry
+    cfg = ExperimentConfig()
+    for panel in FIG3_SETTINGS:
+        print(run_fig3(panel, cfg).render())
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,36 @@
+"""Plain-text rendering helpers for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Align a small table for terminal output."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in str_rows)) if str_rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    label: str, times: Sequence[float], values: Sequence[float], points: int = 10
+) -> str:
+    """Downsample an (accuracy vs time) curve to a readable line."""
+    if not times:
+        return f"{label}: (empty)"
+    n = len(times)
+    idx = [int(i * (n - 1) / max(points - 1, 1)) for i in range(min(points, n))]
+    pairs = ", ".join(f"{times[i]:.2f}s:{values[i]:.3f}" for i in idx)
+    return f"{label}: {pairs}"

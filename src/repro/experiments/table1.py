@@ -1,0 +1,104 @@
+"""Table I — end-to-end speedups of AVCC over LCC and uncoded.
+
+Metric: for each (attack, S, M) setting, take the baseline's converged
+accuracy (its plateau over the final iterations, less a small
+tolerance) as the target; the speedup is
+
+    time(baseline reaches target) / time(AVCC reaches target).
+
+This is the standard "time-to-accuracy" ratio and matches the paper's
+narrative: when a baseline converges *lower* than AVCC (LCC with two
+attackers, uncoded under any attack), it takes the baseline most of
+its run to reach its own plateau while AVCC crosses that level early —
+which is how the large 4.17x/7.64x entries arise; when accuracies tie,
+the ratio reduces to the per-iteration time ratio (the ~1.1x entries).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.fig3 import FIG3_SETTINGS, Fig3Result, run_fig3
+from repro.experiments.report import format_table
+
+__all__ = ["Table1Result", "run_table1", "speedup_over"]
+
+#: paper's Table I, for side-by-side reporting
+PAPER_TABLE1 = {
+    ("reverse", 1, 2): (2.66, 5.13),
+    ("reverse", 2, 1): (1.09, 3.22),
+    ("constant", 1, 2): (4.17, 5.41),
+    ("constant", 2, 1): (1.13, 7.64),
+}
+
+
+def speedup_over(result: Fig3Result, baseline: str, fraction: float = 0.95) -> float:
+    """Time-to-accuracy speedup of AVCC over ``baseline`` in a panel.
+
+    The target is ``fraction`` of the baseline's converged accuracy —
+    a relative target is robust to the attack-induced oscillation of
+    poisoned baselines (an absolute plateau-minus-epsilon target is
+    only touched at the very end of a noisy run, which would inflate
+    ratios arbitrarily).
+    """
+    base = result.histories[baseline]
+    avcc = result.histories["avcc"]
+    target = base.plateau_accuracy() * fraction
+    t_base = base.time_to_accuracy(target)
+    t_avcc = avcc.time_to_accuracy(target)
+    if math.isinf(t_avcc):
+        return 0.0  # AVCC never got there — would be a reproduction failure
+    if math.isinf(t_base):
+        return math.inf
+    return t_base / t_avcc
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    #: (attack, s, m) -> (speedup over LCC, speedup over uncoded)
+    speedups: dict[tuple[str, int, int], tuple[float, float]]
+    panels: dict[str, Fig3Result]
+
+    def render(self) -> str:
+        rows = []
+        for (attack, s, m), (v_lcc, v_unc) in sorted(self.speedups.items()):
+            p_lcc, p_unc = PAPER_TABLE1[(attack, s, m)]
+            rows.append(
+                [
+                    f"{attack} S={s},M={m}",
+                    f"{v_lcc:.2f}x",
+                    f"{p_lcc:.2f}x",
+                    f"{v_unc:.2f}x",
+                    f"{p_unc:.2f}x",
+                ]
+            )
+        return format_table(
+            ["Setting", "vs LCC", "(paper)", "vs uncoded", "(paper)"],
+            rows,
+            title="Table I: AVCC speedups (measured vs paper)",
+        )
+
+
+def run_table1(cfg: ExperimentConfig | None = None) -> Table1Result:
+    cfg = cfg or ExperimentConfig()
+    speedups = {}
+    panels = {}
+    for panel in FIG3_SETTINGS:
+        result = run_fig3(panel, cfg)
+        panels[panel] = result
+        key = (result.attack, result.s, result.m)
+        speedups[key] = (
+            speedup_over(result, "lcc"),
+            speedup_over(result, "uncoded"),
+        )
+    return Table1Result(speedups=speedups, panels=panels)
+
+
+def main():  # pragma: no cover - CLI entry
+    print(run_table1().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,115 @@
+"""Low-level modular arithmetic helpers.
+
+All helpers operate on plain ``numpy`` ``int64`` arrays holding reduced
+residues in ``[0, q)``. They are deliberately field-object-free so that
+:class:`repro.ff.field.PrimeField` can build on them without circular
+imports.
+
+Overflow discipline: with ``q < 2**31`` every product of two residues is
+``< 2**62`` so a single multiply never overflows ``int64``. Anything that
+*accumulates* products must chunk; see :mod:`repro.ff.linalg`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["is_prime", "mod_pow", "mod_inverse", "batch_inverse"]
+
+# Deterministic Miller-Rabin witnesses valid for all n < 3.3e24
+# (Sorenson & Webster). Far more than needed for 31-bit moduli.
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller–Rabin primality test for ``n < 3.3e24``.
+
+    Used at :class:`~repro.ff.field.PrimeField` construction time to
+    reject composite moduli early (a composite modulus silently breaks
+    Fermat inversion and every decoder built on it).
+    """
+    n = int(n)
+    if n < 2:
+        return False
+    for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def mod_pow(base: np.ndarray, exponent: int, q: int) -> np.ndarray:
+    """Vectorized ``base ** exponent mod q`` by square-and-multiply.
+
+    ``base`` is an array of reduced residues; ``exponent`` a non-negative
+    Python int (typically ``q - 2`` for Fermat inversion, i.e. ~25
+    squarings for the default field). Cost: ``O(log exponent)`` array
+    multiplies.
+    """
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative; invert first")
+    base = np.asarray(base, dtype=np.int64) % q
+    result = np.ones_like(base)
+    e = int(exponent)
+    while e:
+        if e & 1:
+            result = result * base % q
+        e >>= 1
+        if e:
+            base = base * base % q
+    return result
+
+
+def mod_inverse(a: np.ndarray, q: int) -> np.ndarray:
+    """Vectorized modular inverse via Fermat's little theorem.
+
+    Raises :class:`ZeroDivisionError` if any element is ``0 (mod q)``.
+    """
+    a = np.asarray(a, dtype=np.int64) % q
+    if np.any(a == 0):
+        raise ZeroDivisionError("attempt to invert 0 in F_q")
+    return mod_pow(a, q - 2, q)
+
+
+def batch_inverse(a: np.ndarray, q: int) -> np.ndarray:
+    """Invert many elements with Montgomery's trick.
+
+    Computes prefix products, inverts the single total with one Fermat
+    exponentiation, then unwinds. For 1-D inputs of length ``n`` this is
+    ``2n`` scalar multiplies plus one ``mod_pow`` — faster than ``n``
+    Fermat inversions when ``n`` is small and the Python-loop overhead is
+    amortized by the tiny sizes the codecs use (``n ≈ N + K``). For large
+    arrays prefer :func:`mod_inverse`, which is fully vectorized.
+    """
+    flat = np.asarray(a, dtype=np.int64).reshape(-1) % q
+    if flat.size == 0:
+        return flat.reshape(np.shape(a))
+    if np.any(flat == 0):
+        raise ZeroDivisionError("attempt to invert 0 in F_q")
+    n = flat.size
+    prefix = np.empty(n, dtype=np.int64)
+    acc = 1
+    for i in range(n):
+        acc = acc * int(flat[i]) % q
+        prefix[i] = acc
+    inv_acc = pow(int(acc), q - 2, q)
+    out = np.empty(n, dtype=np.int64)
+    for i in range(n - 1, 0, -1):
+        out[i] = int(prefix[i - 1]) * inv_acc % q
+        inv_acc = inv_acc * int(flat[i]) % q
+    out[0] = inv_acc
+    return out.reshape(np.shape(a))

@@ -1,0 +1,141 @@
+"""Gaussian elimination over a prime field.
+
+Exact linear solves mod q back two decoders: the Berlekamp–Welch
+Reed–Solomon decoder (LCC's Byzantine path) and generic encoding-matrix
+inversions in tests. Sizes are small (a few dozen rows — bounded by the
+worker count), so the ``O(n^3)`` row-reduction below with vectorized row
+updates is more than fast enough, and exactness is what matters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ff.field import PrimeField
+
+__all__ = [
+    "SingularMatrixError",
+    "gauss_solve",
+    "gauss_solve_any",
+    "gauss_inverse",
+    "gauss_rank",
+]
+
+
+class SingularMatrixError(ValueError):
+    """Raised when an exact solve hits a singular (sub)system."""
+
+
+def _row_reduce(field: PrimeField, aug: np.ndarray) -> tuple[np.ndarray, list[int]]:
+    """In-place reduced row echelon form; returns (matrix, pivot columns).
+
+    ``aug`` is the augmented matrix ``[A | B]``; only the first
+    ``n_cols`` columns are eligible pivots — callers slice accordingly.
+    """
+    q = field.q
+    rows, cols = aug.shape
+    pivots: list[int] = []
+    r = 0
+    for c in range(cols):
+        if r == rows:
+            break
+        # partial pivot: any nonzero entry works in exact arithmetic
+        nz = np.nonzero(aug[r:, c])[0]
+        if nz.size == 0:
+            continue
+        p = r + int(nz[0])
+        if p != r:
+            aug[[r, p]] = aug[[p, r]]
+        inv = pow(int(aug[r, c]), q - 2, q)
+        aug[r] = aug[r] * inv % q
+        mask = np.ones(rows, dtype=bool)
+        mask[r] = False
+        factors = aug[mask, c]
+        if np.any(factors):
+            aug[mask] = (aug[mask] - factors[:, None] * aug[r][None, :]) % q
+        pivots.append(c)
+        r += 1
+    return aug, pivots
+
+
+def gauss_solve(field: PrimeField, a, b) -> np.ndarray:
+    """Solve ``A x = b`` exactly; ``A`` must be square and invertible.
+
+    ``b`` may be a vector or a matrix of right-hand sides.
+    """
+    a = field.asarray(a)
+    b_arr = field.asarray(b)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"A must be square, got {a.shape}")
+    vec = b_arr.ndim == 1
+    rhs = b_arr[:, None] if vec else b_arr
+    if rhs.shape[0] != a.shape[0]:
+        raise ValueError("dimension mismatch between A and b")
+    aug = np.concatenate([a, rhs], axis=1).astype(np.int64)
+    aug, pivots = _row_reduce(field, aug)
+    if len(pivots) < a.shape[0] or pivots != list(range(a.shape[0])):
+        raise SingularMatrixError("matrix is singular over F_q")
+    x = aug[:, a.shape[1]:]
+    return x[:, 0] if vec else x
+
+
+def gauss_solve_any(field: PrimeField, a, b) -> np.ndarray | None:
+    """Find *some* solution of a possibly under/over-determined system.
+
+    Returns ``None`` when the system is inconsistent. Free variables are
+    set to zero. This is exactly what Berlekamp–Welch needs: when fewer
+    errors occurred than budgeted, its linear system is rank-deficient
+    but any solution yields the correct message polynomial.
+    """
+    a = field.asarray(a)
+    b_arr = field.asarray(b)
+    if b_arr.ndim != 1:
+        raise ValueError("gauss_solve_any expects a vector rhs")
+    rows, cols = a.shape
+    aug = np.concatenate([a, b_arr[:, None]], axis=1).astype(np.int64)
+    aug, _ = _row_reduce(field, aug)
+    x = np.zeros(cols, dtype=np.int64)
+    for row in aug:
+        nz = np.nonzero(row[:cols])[0]
+        if nz.size == 0:
+            if row[cols] != 0:
+                return None  # 0 = nonzero -> inconsistent
+            continue
+        # row is normalized: leading coefficient is 1; free vars are 0,
+        # so the pivot variable equals rhs minus nothing.
+        x[nz[0]] = row[cols]
+        # subtract contributions of later (free, zero-valued) vars: none.
+    # Verify (cheap at these sizes, catches the nz[0]-after-pivot subtlety)
+    if np.any((a @ x - b_arr) % field.q):
+        # Need full back-substitution because non-pivot columns with
+        # nonzero coefficients exist. Redo properly.
+        x = np.zeros(cols, dtype=np.int64)
+        pivot_rows: list[tuple[int, np.ndarray]] = []
+        for row in aug:
+            nz = np.nonzero(row[:cols])[0]
+            if nz.size:
+                pivot_rows.append((int(nz[0]), row))
+        for pc, row in reversed(pivot_rows):
+            acc = int(row[cols])
+            tail = row[pc + 1: cols]
+            nz_tail = np.nonzero(tail)[0]
+            if nz_tail.size:
+                acc = (acc - int(tail[nz_tail] @ x[pc + 1 + nz_tail])) % field.q
+            x[pc] = acc % field.q
+        if np.any((a @ x - b_arr) % field.q):
+            return None
+    return x
+
+
+def gauss_inverse(field: PrimeField, a) -> np.ndarray:
+    """Exact inverse of a square matrix over F_q."""
+    a = field.asarray(a)
+    n = a.shape[0]
+    return gauss_solve(field, a, np.eye(n, dtype=np.int64))
+
+
+def gauss_rank(field: PrimeField, a) -> int:
+    """Rank of a matrix over F_q."""
+    a = field.asarray(a).astype(np.int64).copy()
+    _, pivots = _row_reduce(field, a)
+    return len(pivots)

@@ -1,0 +1,99 @@
+"""Overflow-safe dense linear algebra over a prime field.
+
+NumPy ``int64`` matrix products do not saturate — they silently wrap.
+The guard here is the chunking bound computed by
+:class:`~repro.ff.field.PrimeField`: an inner dimension of at most
+``field.chunk`` guarantees every partial accumulation stays below
+``2**63 - 1``. For the default 25-bit prime that bound is 8190, which
+comfortably covers the paper's GISETTE shapes (``d = 5000``) in a single
+chunk; larger inner dimensions are split and reduced between chunks.
+
+These functions are the hot path of the whole stack (worker compute,
+encoding, decoding, verification all land here), so they follow the
+scientific-Python optimization guidance: no Python-level loops over
+matrix elements, contiguous arrays, and in-place accumulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ff.field import PrimeField
+
+__all__ = ["safe_chunk_len", "ff_matmul", "ff_matvec", "ff_dot"]
+
+
+def safe_chunk_len(q: int) -> int:
+    """Largest inner-dimension chunk with no ``int64`` overflow risk.
+
+    Satisfies ``chunk * (q-1)**2 + (q-1) <= 2**63 - 1`` so that the sum
+    of a chunk's products plus a previously reduced accumulator fits.
+    """
+    return int((np.iinfo(np.int64).max - (q - 1)) // ((q - 1) ** 2))
+
+
+def _check_2d(a: np.ndarray, name: str) -> None:
+    if a.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {a.shape}")
+
+
+def ff_matmul(field: PrimeField, a, b) -> np.ndarray:
+    """``a @ b mod q`` with chunked accumulation.
+
+    ``a`` is ``(n, k)``, ``b`` is ``(k, m)``; both are reduced first.
+    """
+    a = field.asarray(a)
+    b = field.asarray(b)
+    _check_2d(a, "a")
+    _check_2d(b, "b")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"inner dims differ: {a.shape} @ {b.shape}")
+    k = a.shape[1]
+    chunk = field.chunk
+    if k <= chunk:
+        return a @ b % field.q
+    a = np.ascontiguousarray(a)
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.int64)
+    for lo in range(0, k, chunk):
+        hi = min(lo + chunk, k)
+        out += a[:, lo:hi] @ b[lo:hi, :]
+        out %= field.q
+    return out
+
+
+def ff_matvec(field: PrimeField, a, x) -> np.ndarray:
+    """``a @ x mod q`` for a matrix and a vector (1-D result)."""
+    a = field.asarray(a)
+    x = field.asarray(x)
+    _check_2d(a, "a")
+    if x.ndim != 1:
+        raise ValueError(f"x must be 1-D, got shape {x.shape}")
+    if a.shape[1] != x.shape[0]:
+        raise ValueError(f"inner dims differ: {a.shape} @ {x.shape}")
+    k = a.shape[1]
+    chunk = field.chunk
+    if k <= chunk:
+        return a @ x % field.q
+    out = np.zeros(a.shape[0], dtype=np.int64)
+    for lo in range(0, k, chunk):
+        hi = min(lo + chunk, k)
+        out += a[:, lo:hi] @ x[lo:hi]
+        out %= field.q
+    return out
+
+
+def ff_dot(field: PrimeField, x, y) -> int:
+    """Inner product of two vectors mod q (returns a Python int)."""
+    x = field.asarray(x)
+    y = field.asarray(y)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError(f"ff_dot needs equal-length 1-D vectors, got {x.shape}, {y.shape}")
+    k = x.shape[0]
+    chunk = field.chunk
+    if k <= chunk:
+        return int(x @ y % field.q)
+    acc = 0
+    for lo in range(0, k, chunk):
+        hi = min(lo + chunk, k)
+        acc = (acc + int(x[lo:hi] @ y[lo:hi])) % field.q
+    return acc

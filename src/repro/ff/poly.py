@@ -1,0 +1,175 @@
+"""Dense univariate polynomials over a prime field.
+
+Coefficients are stored in *ascending* order (``coeffs[i]`` multiplies
+``x**i``) as reduced ``int64`` residues. Degrees in this codebase are
+tiny (bounded by the number of workers, a few dozen), so the simple
+dense representation with ``O(n^2)`` multiplication is both adequate and
+the easiest to audit. Evaluation is vectorized Horner over arrays of
+points — that is the one operation on the experiment hot path
+(Reed–Solomon re-evaluation during Berlekamp–Welch verification).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.ff.field import PrimeField
+
+__all__ = ["Poly"]
+
+
+class Poly:
+    """An immutable polynomial over ``F_q``.
+
+    Parameters
+    ----------
+    field:
+        The coefficient field.
+    coeffs:
+        Ascending coefficients; trailing zeros are stripped. The zero
+        polynomial is represented by an empty coefficient array and has
+        ``degree == -1``.
+    """
+
+    __slots__ = ("field", "coeffs")
+
+    def __init__(self, field: PrimeField, coeffs: Iterable[int] | np.ndarray):
+        self.field = field
+        c = field.asarray(np.atleast_1d(np.asarray(list(coeffs) if not isinstance(coeffs, np.ndarray) else coeffs)))
+        if c.ndim != 1:
+            raise ValueError("coefficients must be 1-D")
+        nz = np.nonzero(c)[0]
+        self.coeffs = c[: nz[-1] + 1] if nz.size else c[:0]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, field: PrimeField) -> "Poly":
+        return cls(field, np.zeros(0, dtype=np.int64))
+
+    @classmethod
+    def one(cls, field: PrimeField) -> "Poly":
+        return cls(field, [1])
+
+    @classmethod
+    def x(cls, field: PrimeField) -> "Poly":
+        return cls(field, [0, 1])
+
+    @classmethod
+    def from_roots(cls, field: PrimeField, roots: Iterable[int]) -> "Poly":
+        """Monic polynomial ``prod (x - r)`` — the error locator shape."""
+        p = cls.one(field)
+        for r in np.atleast_1d(field.asarray(list(roots))):
+            p = p * cls(field, [(-int(r)) % field.q, 1])
+        return p
+
+    # ------------------------------------------------------------------
+    @property
+    def degree(self) -> int:
+        return int(self.coeffs.size) - 1
+
+    def is_zero(self) -> bool:
+        return self.coeffs.size == 0
+
+    def _coerce(self, other) -> "Poly":
+        if isinstance(other, Poly):
+            if other.field != self.field:
+                raise ValueError("polynomials over different fields")
+            return other
+        return Poly(self.field, [other])
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Poly):
+            return NotImplemented
+        return self.field == other.field and np.array_equal(self.coeffs, other.coeffs)
+
+    def __hash__(self):
+        return hash((self.field.q, self.coeffs.tobytes()))
+
+    def __add__(self, other) -> "Poly":
+        other = self._coerce(other)
+        n = max(self.coeffs.size, other.coeffs.size)
+        out = np.zeros(n, dtype=np.int64)
+        out[: self.coeffs.size] = self.coeffs
+        out[: other.coeffs.size] = (out[: other.coeffs.size] + other.coeffs) % self.field.q
+        return Poly(self.field, out)
+
+    def __neg__(self) -> "Poly":
+        return Poly(self.field, self.field.neg(self.coeffs))
+
+    def __sub__(self, other) -> "Poly":
+        return self + (-self._coerce(other))
+
+    def __mul__(self, other) -> "Poly":
+        other = self._coerce(other)
+        if self.is_zero() or other.is_zero():
+            return Poly.zero(self.field)
+        q = self.field.q
+        # np.convolve accumulates products; bound the partial-sum length.
+        n_terms = min(self.coeffs.size, other.coeffs.size)
+        if n_terms > self.field.chunk:  # pragma: no cover - degrees are tiny here
+            raise OverflowError(
+                f"polynomial multiply with {n_terms} overlapping terms would "
+                f"overflow int64 for q={q}"
+            )
+        return Poly(self.field, np.convolve(self.coeffs, other.coeffs) % q)
+
+    def scale(self, c: int) -> "Poly":
+        return Poly(self.field, self.field.mul(self.coeffs, int(c)))
+
+    def __divmod__(self, other) -> tuple["Poly", "Poly"]:
+        """Polynomial long division (quotient, remainder)."""
+        other = self._coerce(other)
+        if other.is_zero():
+            raise ZeroDivisionError("polynomial division by zero")
+        q_field = self.field.q
+        rem = self.coeffs.astype(np.int64).copy()
+        d = other.degree
+        lead_inv = pow(int(other.coeffs[-1]), q_field - 2, q_field)
+        if self.degree < d:
+            return Poly.zero(self.field), Poly(self.field, rem)
+        quot = np.zeros(self.degree - d + 1, dtype=np.int64)
+        for i in range(self.degree - d, -1, -1):
+            coef = int(rem[i + d]) * lead_inv % q_field
+            quot[i] = coef
+            if coef:
+                rem[i : i + d + 1] = (rem[i : i + d + 1] - coef * other.coeffs) % q_field
+        return Poly(self.field, quot), Poly(self.field, rem[:d] if d > 0 else rem[:0])
+
+    def __floordiv__(self, other) -> "Poly":
+        return divmod(self, other)[0]
+
+    def __mod__(self, other) -> "Poly":
+        return divmod(self, other)[1]
+
+    def divides_exactly(self, other: "Poly") -> bool:
+        """True if ``self`` divides ``other`` with zero remainder."""
+        return divmod(other, self)[1].is_zero()
+
+    # ------------------------------------------------------------------
+    def __call__(self, x) -> np.ndarray | int:
+        """Evaluate at scalar or array of points via vectorized Horner."""
+        scalar = np.isscalar(x)
+        pts = self.field.asarray(np.atleast_1d(x))
+        if self.is_zero():
+            out = np.zeros_like(pts)
+        else:
+            out = np.full_like(pts, int(self.coeffs[-1]))
+            for c in self.coeffs[-2::-1]:
+                out = (out * pts + int(c)) % self.field.q
+        return int(out[0]) if scalar else out
+
+    def derivative(self) -> "Poly":
+        if self.degree < 1:
+            return Poly.zero(self.field)
+        k = np.arange(1, self.coeffs.size, dtype=np.int64)
+        return Poly(self.field, self.coeffs[1:] * (k % self.field.q) % self.field.q)
+
+    def monic(self) -> "Poly":
+        if self.is_zero():
+            raise ZeroDivisionError("zero polynomial has no monic form")
+        return self.scale(pow(int(self.coeffs[-1]), self.field.q - 2, self.field.q))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Poly(q={self.field.q}, coeffs={self.coeffs.tolist()})"

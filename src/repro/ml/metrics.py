@@ -1,0 +1,38 @@
+"""Classification metrics used by the trainers and experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sigmoid", "binary_cross_entropy", "accuracy"]
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function ``h(z) = 1/(1+e^-z)``."""
+    z = np.asarray(z, dtype=np.float64)
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def binary_cross_entropy(y_true: np.ndarray, p: np.ndarray, eps: float = 1e-12) -> float:
+    """Mean cross-entropy (Eq. 4) with probability clipping."""
+    y = np.asarray(y_true, dtype=np.float64)
+    p = np.clip(np.asarray(p, dtype=np.float64), eps, 1.0 - eps)
+    if y.shape != p.shape:
+        raise ValueError(f"shape mismatch {y.shape} vs {p.shape}")
+    return float(-np.mean(y * np.log(p) + (1.0 - y) * np.log(1.0 - p)))
+
+
+def accuracy(y_true: np.ndarray, p: np.ndarray, threshold: float = 0.5) -> float:
+    """Fraction of correct 0/1 predictions at the given threshold."""
+    y = np.asarray(y_true)
+    pred = (np.asarray(p) >= threshold).astype(y.dtype)
+    if y.shape != pred.shape:
+        raise ValueError(f"shape mismatch {y.shape} vs {pred.shape}")
+    if y.size == 0:
+        raise ValueError("empty arrays")
+    return float(np.mean(pred == y))

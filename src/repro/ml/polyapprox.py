@@ -1,0 +1,95 @@
+"""Polynomial approximation of nonlinearities (paper Sec. VII).
+
+The paper's closing direction: "deep neural networks have non-linear
+computations that are difficult to decode when such computations are
+applied to encoded data. One potential option is to approximate such
+non-linearities using polynomials ... This approximation comes at the
+cost of accuracy loss. However, it can defend against Byzantine worker
+attacks."
+
+This module provides the building block: least-squares polynomial fits
+of the logistic function on a bounded interval (the approach of
+CodedPrivateML [31] and the polynomial-ReLU line of work [29]). A
+polynomial activation makes the *entire* gradient computation a
+polynomial of the coded data, so Lagrange coding plus the generalized
+verifier covers it end to end — no real-domain detour at the master.
+
+Fitting uses Chebyshev nodes (minimizes the Runge effect at interval
+edges) with a plain normal-equations solve; degrees of practical
+interest are tiny (1–7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.metrics import sigmoid
+
+__all__ = ["fit_sigmoid_poly", "PolynomialSigmoid"]
+
+
+def _chebyshev_nodes(n: int, lo: float, hi: float) -> np.ndarray:
+    k = np.arange(n)
+    x = np.cos((2 * k + 1) * np.pi / (2 * n))
+    return 0.5 * (lo + hi) + 0.5 * (hi - lo) * x
+
+
+def fit_sigmoid_poly(
+    degree: int, interval: tuple[float, float] = (-8.0, 8.0), n_nodes: int = 256
+) -> np.ndarray:
+    """Least-squares polynomial fit of the logistic function.
+
+    Returns ascending coefficients ``c`` with
+    ``sigmoid(z) ≈ sum_i c[i] * z**i`` on ``interval``.
+
+    Odd degrees fit best: ``sigmoid(z) - 1/2`` is odd, so even-degree
+    terms contribute nothing except at the boundary.
+    """
+    if degree < 1:
+        raise ValueError("degree must be >= 1")
+    lo, hi = interval
+    if not lo < hi:
+        raise ValueError("interval must be increasing")
+    if n_nodes < degree + 1:
+        raise ValueError("need more nodes than coefficients")
+    z = _chebyshev_nodes(n_nodes, lo, hi)
+    v = np.vander(z, degree + 1, increasing=True)
+    coeffs, *_ = np.linalg.lstsq(v, sigmoid(z), rcond=None)
+    return coeffs
+
+
+class PolynomialSigmoid:
+    """A drop-in polynomial activation, clipped to (0, 1).
+
+    Parameters
+    ----------
+    degree:
+        Polynomial degree (3 is the CodedPrivateML choice; higher
+        degrees trade recovery threshold for fidelity).
+    interval:
+        Fit interval — should cover the typical logit range of the
+        workload; outside it the polynomial is clamped.
+    """
+
+    def __init__(self, degree: int = 3, interval: tuple[float, float] = (-8.0, 8.0)):
+        self.degree = int(degree)
+        self.interval = (float(interval[0]), float(interval[1]))
+        self.coeffs = fit_sigmoid_poly(self.degree, self.interval)
+
+    def __call__(self, z: np.ndarray) -> np.ndarray:
+        z = np.clip(np.asarray(z, dtype=np.float64), *self.interval)
+        out = np.zeros_like(z)
+        for c in self.coeffs[::-1]:
+            out = out * z + c
+        return np.clip(out, 0.0, 1.0)
+
+    def max_error(self, n_probe: int = 4001) -> float:
+        """Sup-norm error against the true sigmoid on the fit interval."""
+        z = np.linspace(*self.interval, n_probe)
+        return float(np.max(np.abs(self(z) - sigmoid(z))))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PolynomialSigmoid(degree={self.degree}, interval={self.interval}, "
+            f"max_error={self.max_error():.4f})"
+        )

@@ -1,0 +1,109 @@
+"""Real ⇄ finite-field quantization (paper Sec. V).
+
+Eq. (21): ``x_r = round(2^l · x)``, embedded in F_q with negatives in
+two's-complement residue form (``q + x_r`` for ``x_r < 0``). Restoring
+reals subtracts ``q`` from residues above ``(q−1)/2`` and scales by
+``2^{−l}``.
+
+The critical correctness condition is **no wrap-around**: every value a
+computation produces must have signed magnitude at most ``(q−1)/2``,
+otherwise the signed interpretation is ambiguous and training silently
+corrupts. :class:`OverflowBudget` does that worst-case accounting for
+matrix–vector products, mirroring the paper's field-size selection
+argument (they bound ``d(q−1)² ≤ 2^63 − 1`` for the accumulator and
+pick ``l`` "taking into account the trade-off between the rounding and
+the overflow error").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ff.field import PrimeField
+
+__all__ = ["Quantizer", "OverflowBudget"]
+
+
+class Quantizer:
+    """Fixed-point quantizer into a prime field.
+
+    Parameters
+    ----------
+    field:
+        Target field.
+    l_bits:
+        Precision bits: reals are scaled by ``2**l_bits`` then rounded
+        (the paper uses ``l = 5`` for model weights).
+    """
+
+    def __init__(self, field: PrimeField, l_bits: int):
+        if l_bits < 0:
+            raise ValueError("l_bits must be non-negative")
+        self.field = field
+        self.l_bits = int(l_bits)
+        self.scale = float(2**l_bits)
+        self._half = (field.q - 1) // 2
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Round-to-nearest fixed point, embedded as residues.
+
+        Raises ``OverflowError`` if any scaled magnitude exceeds
+        ``(q−1)/2`` — such a value cannot be represented unambiguously.
+        """
+        scaled = np.round(np.asarray(x, dtype=np.float64) * self.scale)
+        if np.any(np.abs(scaled) > self._half):
+            raise OverflowError(
+                f"quantized magnitude {np.abs(scaled).max():.0f} exceeds "
+                f"(q-1)/2 = {self._half}; reduce l_bits or rescale inputs"
+            )
+        return self.field.from_signed(scaled.astype(np.int64))
+
+    def dequantize(self, x_q: np.ndarray, extra_bits: int = 0) -> np.ndarray:
+        """Map residues back to reals.
+
+        ``extra_bits`` accounts for scale accumulated by computation:
+        a product of an ``l_a``-bit operand with an ``l_b``-bit operand
+        carries ``l_a + l_b`` bits; the caller passes the total minus
+        this quantizer's own bits.
+        """
+        signed = self.field.to_signed(x_q).astype(np.float64)
+        return signed / (self.scale * float(2**extra_bits))
+
+    def roundtrip_error_bound(self) -> float:
+        """Max absolute quantization error: half an LSB."""
+        return 0.5 / self.scale
+
+
+class OverflowBudget:
+    """Worst-case signed-magnitude accounting for field computations."""
+
+    def __init__(self, field: PrimeField):
+        self.field = field
+        self.half = (field.q - 1) // 2
+
+    def matvec_max(self, max_abs_matrix: float, max_abs_vector: float, inner: int) -> float:
+        """Upper bound on ``|A·x|`` entries given entry bounds."""
+        if inner < 0 or max_abs_matrix < 0 or max_abs_vector < 0:
+            raise ValueError("bounds must be non-negative")
+        return max_abs_matrix * max_abs_vector * inner
+
+    def fits(self, worst_case: float) -> bool:
+        return worst_case <= self.half
+
+    def check_matvec(
+        self, max_abs_matrix: float, max_abs_vector: float, inner: int, what: str = "matvec"
+    ) -> None:
+        """Raise ``OverflowError`` when a product could wrap."""
+        worst = self.matvec_max(max_abs_matrix, max_abs_vector, inner)
+        if not self.fits(worst):
+            raise OverflowError(
+                f"{what}: worst case |result| = {worst:.3g} exceeds (q-1)/2 "
+                f"= {self.half} for q = {self.field.q}; shrink the data "
+                f"scale, the quantization bits, or use a larger field"
+            )
+
+    def headroom_bits(self, worst_case: float) -> float:
+        """How many extra bits of scale remain before wrap-around."""
+        if worst_case <= 0:
+            return float(np.log2(self.half))
+        return float(np.log2(self.half / worst_case))

@@ -1,0 +1,68 @@
+"""Discrete-event master/worker cluster simulator.
+
+This package substitutes for the paper's physical testbed (13 Minnow
+nodes on DCOMP, Sec. V). The protocol code paths — encoding, worker
+compute, per-worker verification, decoding, dynamic re-coding — run for
+real over real field arithmetic; only *time* is simulated, through a
+calibrated :class:`CostModel` plus per-worker latency profiles. That
+preserves every phenomenon the evaluation measures (straggler tail
+latency, Byzantine injection, verification/decode overhead,
+re-encoding transfer costs) while making runs deterministic.
+
+Layout
+------
+``events``      minimal event-queue kernel
+``costmodel``   seconds-per-MAC / bandwidth / RTT constants
+``latency``     worker speed profiles (deterministic, shifted-exp, ...)
+``byzantine``   attack behaviours (reverse-value, constant, ...)
+``worker``      a simulated worker = payload + profile + behaviour
+``cluster``     the master-side round executor
+``trace``       per-round/per-iteration timing records (drives Fig. 4/5)
+``threaded``    optional real thread-pool backend for live demos
+"""
+
+from repro.runtime.byzantine import (
+    Behavior,
+    ConstantAttack,
+    Honest,
+    IntermittentAttack,
+    RandomAttack,
+    ReversedValueAttack,
+    SilentFailure,
+)
+from repro.runtime.cluster import Arrival, RoundResult, SimCluster
+from repro.runtime.costmodel import CostModel
+from repro.runtime.events import EventQueue
+from repro.runtime.latency import (
+    DeterministicLatency,
+    GaussianJitterLatency,
+    LatencyModel,
+    ShiftedExponentialLatency,
+    make_profiles,
+)
+from repro.runtime.trace import IterationRecord, RoundRecord, TraceRecorder
+from repro.runtime.worker import SimWorker
+
+__all__ = [
+    "Arrival",
+    "Behavior",
+    "ConstantAttack",
+    "CostModel",
+    "DeterministicLatency",
+    "EventQueue",
+    "GaussianJitterLatency",
+    "Honest",
+    "IntermittentAttack",
+    "IterationRecord",
+    "LatencyModel",
+    "RandomAttack",
+    "ReversedValueAttack",
+    "RoundRecord",
+    "RoundResult",
+    "ShiftedExponentialLatency",
+    "SilentFailure",
+    "SimCluster",
+    "SimWorker",
+    "TraceRecorder",
+    "make_profiles",
+]

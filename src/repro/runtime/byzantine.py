@@ -1,0 +1,139 @@
+"""Byzantine worker behaviours.
+
+The paper's threat model (Sec. III-A): compromised workers have root
+access and "can send arbitrary results to the main server to sabotage
+the computation". The evaluation uses two concrete attacks (Sec. V):
+
+* **Reversed value attack** — send ``-c·z`` instead of ``z`` (``c = 1``
+  in the experiments). Weak: the flipped values partially cancel and
+  training still limps along.
+* **Constant Byzantine attack** — send a constant vector of the right
+  dimension. Strong: it drags the decoded gradient far off.
+
+Behaviours receive the honest result and return what the worker
+actually transmits; they are attached per-worker so experiments can
+place attackers anywhere. ``SilentFailure`` models a crashed/hung node
+(it never responds — indistinguishable from an infinite straggler,
+which is exactly how the master must treat it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.ff.field import PrimeField
+
+__all__ = [
+    "Behavior",
+    "Honest",
+    "ReversedValueAttack",
+    "ConstantAttack",
+    "RandomAttack",
+    "SilentFailure",
+]
+
+
+@runtime_checkable
+class Behavior(Protocol):
+    """Transforms an honest result into what the worker sends."""
+
+    #: whether the behaviour corrupts results (ground truth for traces)
+    is_byzantine: bool
+
+    def corrupt(
+        self, result: np.ndarray, field: PrimeField, rng: np.random.Generator
+    ) -> np.ndarray | None:
+        """Return the transmitted value (``None`` = never responds)."""
+        ...  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class Honest:
+    is_byzantine: bool = False
+
+    def corrupt(self, result, field, rng):
+        return result
+
+
+@dataclass(frozen=True)
+class ReversedValueAttack:
+    """Send ``-c * z`` (paper Sec. V, ``c = 1``)."""
+
+    c: int = 1
+    is_byzantine: bool = True
+
+    def __post_init__(self):
+        if self.c <= 0:
+            raise ValueError("c must be positive (the paper requires c > 0)")
+
+    def corrupt(self, result, field, rng):
+        return field.neg(field.mul(result, self.c))
+
+
+@dataclass(frozen=True)
+class ConstantAttack:
+    """Send a constant vector with the dimension of the true result.
+
+    The constant is interpreted as a *signed* value and embedded in the
+    field, matching an attacker who writes a fixed pattern into the
+    result buffer.
+    """
+
+    value: int = 1000
+    is_byzantine: bool = True
+
+    def corrupt(self, result, field, rng):
+        return field.from_signed(np.full_like(np.asarray(result), self.value))
+
+
+@dataclass(frozen=True)
+class RandomAttack:
+    """Send uniformly random field elements (worst-case garbage)."""
+
+    is_byzantine: bool = True
+
+    def corrupt(self, result, field, rng):
+        return field.random(np.asarray(result).shape, rng)
+
+
+@dataclass(frozen=True)
+class SilentFailure:
+    """Crash-stop: the worker never responds. Counted as a straggler,
+    not a Byzantine node — it sends nothing to verify."""
+
+    is_byzantine: bool = False
+
+    def corrupt(self, result, field, rng):
+        return None
+
+
+@dataclass(frozen=True)
+class IntermittentAttack:
+    """Wraps another attack and fires it per-round with probability
+    ``probability``; otherwise the worker behaves honestly that round.
+
+    This models the paper's threat: workers "can be *dynamically*
+    malicious ... at any given time, some of the worker nodes can send
+    arbitrary results" (Sec. III-A). It is also what makes the
+    under-provisioned LCC baseline degrade gracefully instead of never
+    making progress: iterations where at most ``M`` attackers fire are
+    decoded cleanly, the rest are poisoned.
+    """
+
+    inner: Behavior
+    probability: float = 0.4
+    is_byzantine: bool = True
+
+    def __post_init__(self):
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if not self.inner.is_byzantine:
+            raise ValueError("inner behaviour must be an attack")
+
+    def corrupt(self, result, field, rng):
+        if rng.random() < self.probability:
+            return self.inner.corrupt(result, field, rng)
+        return result

@@ -1,0 +1,198 @@
+"""The master-side round executor.
+
+One *round* = broadcast an operand, let every participating worker
+compute over its stored shares, collect results in arrival order. The
+masters in :mod:`repro.core` consume the ordered arrival stream and add
+their own verification/decoding costs on top.
+
+Timing of worker ``i`` for a round starting at ``t0``::
+
+    t_arrival_i = t0 + transfer(broadcast)            # master -> worker
+                 + profile_i(macs_i * sec_per_mac)    # local compute
+                 + transfer(result_i)                 # worker -> master
+
+Silent workers never arrive (``t = inf``). Results of Byzantine
+workers are corrupted *before* transmission — the master sees only the
+transmitted bytes, exactly like the real system.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.ff.field import PrimeField
+from repro.runtime.costmodel import CostModel
+from repro.runtime.events import EventQueue
+from repro.runtime.worker import SimWorker
+
+__all__ = ["Arrival", "RoundResult", "SimCluster"]
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One worker result as seen by the master."""
+
+    worker_id: int
+    value: Any
+    t_arrival: float
+    compute_time: float
+    comm_time: float
+    #: ground truth for traces/tests only — masters must never read it
+    truly_byzantine: bool
+
+
+@dataclass(frozen=True)
+class RoundResult:
+    """All arrivals of one round, ordered by arrival time."""
+
+    t_start: float
+    broadcast_time: float
+    arrivals: tuple[Arrival, ...]
+
+    def arrived(self) -> tuple[Arrival, ...]:
+        """Only the workers that ever respond."""
+        return tuple(a for a in self.arrivals if math.isfinite(a.t_arrival))
+
+
+class SimCluster:
+    """A master plus ``n`` simulated workers sharing one virtual clock.
+
+    Parameters
+    ----------
+    field:
+        Computation field.
+    workers:
+        The worker fleet (ids must be ``0..n-1``).
+    cost_model:
+        Timing constants.
+    rng:
+        Single generator for all stochastic elements (latency jitter,
+        attack randomness) — runs are reproducible given the seed.
+    """
+
+    def __init__(
+        self,
+        field: PrimeField,
+        workers: Sequence[SimWorker],
+        cost_model: CostModel | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        ids = [w.worker_id for w in workers]
+        if sorted(ids) != list(range(len(workers))):
+            raise ValueError("worker ids must be exactly 0..n-1")
+        self.field = field
+        self.workers = list(sorted(workers, key=lambda w: w.worker_id))
+        self.cost_model = cost_model or CostModel()
+        self.rng = rng or np.random.default_rng(0)
+        self.now = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.workers)
+
+    def worker(self, worker_id: int) -> SimWorker:
+        return self.workers[worker_id]
+
+    def advance_to(self, t: float) -> None:
+        """Move the virtual clock forward (never backward)."""
+        if t < self.now - 1e-12:
+            raise ValueError(f"clock cannot run backward: {t} < {self.now}")
+        self.now = max(self.now, t)
+
+    def elapse(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        self.now += dt
+
+    # ------------------------------------------------------------------
+    def distribute(self, name: str, shares: np.ndarray, participants=None) -> float:
+        """Ship share ``i`` to worker ``i`` (sequentially from the
+        master's NIC, as in the testbed) and charge the transfer time.
+
+        Returns the time spent; also advances the clock.
+        """
+        participants = self._participants(participants)
+        if len(participants) > shares.shape[0]:
+            raise ValueError("fewer shares than participants")
+        total = 0.0
+        for slot, wid in enumerate(participants):
+            share = shares[slot]
+            self.workers[wid].store(**{name: share})
+            total += self.cost_model.transfer_time(int(np.asarray(share).size))
+        self.now += total
+        return total
+
+    def _participants(self, participants) -> list[int]:
+        if participants is None:
+            return list(range(self.n))
+        out = list(participants)
+        if len(set(out)) != len(out):
+            raise ValueError("duplicate participant ids")
+        for wid in out:
+            if not 0 <= wid < self.n:
+                raise ValueError(f"worker id {wid} out of range")
+        return out
+
+    # ------------------------------------------------------------------
+    def run_round(
+        self,
+        compute: Callable[[dict[str, Any]], np.ndarray],
+        macs: Callable[[dict[str, Any]], int],
+        broadcast_elements: int,
+        participants: Sequence[int] | None = None,
+    ) -> RoundResult:
+        """Execute one broadcast-compute-collect round.
+
+        Parameters
+        ----------
+        compute:
+            Maps a worker's payload to its (honest) result array.
+        macs:
+            Multiply-accumulate count of that computation, for timing.
+        broadcast_elements:
+            Elements broadcast from master to every worker (the operand
+            vector) — master pays one transfer per participant.
+        participants:
+            Worker ids taking part (default: all).
+
+        The round's arrivals are returned sorted by arrival time; the
+        clock is *not* advanced past the broadcast — masters advance it
+        to whenever they stop waiting (they may not need the last
+        stragglers).
+        """
+        participants = self._participants(participants)
+        t0 = self.now
+        bcast = self.cost_model.transfer_time(int(broadcast_elements))
+        t_ready = t0 + bcast  # master broadcasts; all workers start then
+
+        queue = EventQueue()
+        for wid in participants:
+            w = self.workers[wid]
+            value = w.execute(compute, self.field, self.rng)
+            base = self.cost_model.worker_compute_time(int(macs(w.payload)))
+            ct = w.sample_time(base, self.rng)
+            if value is None:
+                queue.push(math.inf, (wid, None, ct, 0.0))
+                continue
+            up = self.cost_model.transfer_time(int(np.asarray(value).size))
+            queue.push(t_ready + ct + up, (wid, value, ct, up))
+
+        arrivals = []
+        for t, (wid, value, ct, up) in queue.drain():
+            arrivals.append(
+                Arrival(
+                    worker_id=wid,
+                    value=value,
+                    t_arrival=t,
+                    compute_time=ct,
+                    comm_time=up,
+                    truly_byzantine=self.workers[wid].is_byzantine,
+                )
+            )
+        self.now = t_ready
+        return RoundResult(t_start=t0, broadcast_time=bcast, arrivals=tuple(arrivals))

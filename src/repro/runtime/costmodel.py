@@ -1,0 +1,77 @@
+"""Timing constants for the simulated cluster.
+
+Calibrated to the paper's testbed regime (Sec. V): quad-core Intel
+Atom-class workers, 1 GbE links, a trusted main server of the same
+class. Only *relative* magnitudes matter for reproducing the figures'
+shapes (compute ≫ verification per check; communication comparable to
+compute for GISETTE-sized blocks; straggler latency dominating
+everything), but the defaults are chosen so absolute numbers land in
+the same tens-of-seconds-per-50-iterations ballpark as the paper.
+
+All methods return simulated seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Deterministic cost model shared by master and workers.
+
+    Attributes
+    ----------
+    worker_sec_per_mac:
+        Seconds per multiply-accumulate on a (non-straggling) worker.
+        ~3 ns ≈ an Atom core doing int64 MACs without SIMD heroics.
+    master_sec_per_mac:
+        Master-side rate for verification and decoding arithmetic.
+    bytes_per_element:
+        Wire size of one field element (int64 on the testbed).
+    bandwidth_bytes_per_s:
+        Link bandwidth; 1 GbE ≈ 125 MB/s.
+    link_latency_s:
+        One-way message latency (per message, not per element).
+    """
+
+    worker_sec_per_mac: float = 3.0e-9
+    master_sec_per_mac: float = 3.0e-9
+    bytes_per_element: int = 8
+    bandwidth_bytes_per_s: float = 125.0e6
+    link_latency_s: float = 0.5e-3
+
+    def __post_init__(self):
+        if min(
+            self.worker_sec_per_mac,
+            self.master_sec_per_mac,
+            self.bandwidth_bytes_per_s,
+        ) <= 0:
+            raise ValueError("rates must be positive")
+        if self.link_latency_s < 0 or self.bytes_per_element <= 0:
+            raise ValueError("invalid latency or element size")
+
+    # ------------------------------------------------------------------
+    def worker_compute_time(self, macs: int, speed_factor: float = 1.0) -> float:
+        """Base compute time of ``macs`` multiply-accumulates at a worker
+        running at ``1/speed_factor`` of nominal speed."""
+        if macs < 0:
+            raise ValueError("macs must be non-negative")
+        if speed_factor <= 0:
+            raise ValueError("speed_factor must be positive")
+        return macs * self.worker_sec_per_mac * speed_factor
+
+    def master_compute_time(self, macs: int) -> float:
+        if macs < 0:
+            raise ValueError("macs must be non-negative")
+        return macs * self.master_sec_per_mac
+
+    def transfer_time(self, n_elements: int) -> float:
+        """One message of ``n_elements`` field elements over one link."""
+        if n_elements < 0:
+            raise ValueError("n_elements must be non-negative")
+        return self.link_latency_s + (
+            n_elements * self.bytes_per_element / self.bandwidth_bytes_per_s
+        )

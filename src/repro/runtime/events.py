@@ -1,0 +1,60 @@
+"""A minimal discrete-event kernel.
+
+A binary-heap priority queue of ``(time, seq, payload)`` entries with a
+monotonic sequence number for stable FIFO ordering of simultaneous
+events. The cluster uses it to deliver worker arrivals in time order;
+it is deliberately tiny and fully tested so higher layers can trust the
+ordering semantics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Iterator
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Time-ordered event queue with stable tie-breaking."""
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, Any]] = []
+        self._seq = 0
+
+    def push(self, time: float, payload: Any) -> None:
+        """Schedule ``payload`` at absolute ``time``.
+
+        ``math.inf`` is allowed (events that never fire — silent
+        workers) and will sort last; NaN is rejected because it breaks
+        heap ordering silently.
+        """
+        t = float(time)
+        if math.isnan(t):
+            raise ValueError("event time cannot be NaN")
+        heapq.heappush(self._heap, (t, self._seq, payload))
+        self._seq += 1
+
+    def pop(self) -> tuple[float, Any]:
+        """Remove and return the earliest ``(time, payload)``."""
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        t, _, payload = heapq.heappop(self._heap)
+        return t, payload
+
+    def peek_time(self) -> float:
+        if not self._heap:
+            raise IndexError("peek on empty EventQueue")
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def drain(self) -> Iterator[tuple[float, Any]]:
+        """Yield all events in time order, consuming the queue."""
+        while self._heap:
+            yield self.pop()

@@ -1,0 +1,101 @@
+"""Real thread-pool execution backend.
+
+The simulator in :mod:`repro.runtime.cluster` is what the experiments
+use (deterministic, calibrated timing). This backend runs the *same*
+worker computations on an actual ``ThreadPoolExecutor`` with injected
+sleeps for stragglers, so the examples can demonstrate genuine
+wall-clock speedups on one machine. NumPy releases the GIL inside its
+inner loops, so worker matvecs genuinely overlap.
+
+Not used by the benchmark harness: wall-clock measurements of a
+many-thread pool are machine-dependent noise, which is exactly what the
+discrete-event clock removes.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.ff.field import PrimeField
+from repro.runtime.worker import SimWorker
+
+__all__ = ["ThreadedArrival", "ThreadedCluster"]
+
+
+@dataclass(frozen=True)
+class ThreadedArrival:
+    """Result of one worker under real execution."""
+
+    worker_id: int
+    value: Any
+    t_arrival: float  # seconds since round start (wall clock)
+    truly_byzantine: bool
+
+
+class ThreadedCluster:
+    """Thread-pool analogue of :class:`~repro.runtime.cluster.SimCluster`.
+
+    Straggling is induced by ``time.sleep`` proportional to the
+    worker's deterministic latency factor, scaled by
+    ``straggle_scale`` seconds per unit of factor-above-one.
+    """
+
+    def __init__(
+        self,
+        field: PrimeField,
+        workers: Sequence[SimWorker],
+        rng: np.random.Generator | None = None,
+        straggle_scale: float = 0.05,
+        max_threads: int | None = None,
+    ):
+        self.field = field
+        self.workers = list(workers)
+        self.rng = rng or np.random.default_rng(0)
+        self.straggle_scale = straggle_scale
+        self._pool = ThreadPoolExecutor(max_workers=max_threads or len(self.workers))
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    def _run_one(
+        self, w: SimWorker, compute: Callable[[dict], np.ndarray], t0: float
+    ) -> ThreadedArrival:
+        factor = getattr(w.profile, "factor", 1.0)
+        if factor > 1.0:
+            time.sleep((factor - 1.0) * self.straggle_scale)
+        value = w.execute(compute, self.field, np.random.default_rng(w.worker_id))
+        if value is None:
+            return ThreadedArrival(w.worker_id, None, math.inf, w.is_byzantine)
+        return ThreadedArrival(
+            w.worker_id, value, time.perf_counter() - t0, w.is_byzantine
+        )
+
+    def run_round(
+        self,
+        compute: Callable[[dict], np.ndarray],
+        participants: Sequence[int] | None = None,
+    ) -> list[ThreadedArrival]:
+        """Run all workers concurrently; return arrivals sorted by
+        completion time."""
+        ids = list(participants) if participants is not None else [
+            w.worker_id for w in self.workers
+        ]
+        by_id = {w.worker_id: w for w in self.workers}
+        t0 = time.perf_counter()
+        futures = [self._pool.submit(self._run_one, by_id[i], compute, t0) for i in ids]
+        results = [f.result() for f in futures]
+        return sorted(results, key=lambda a: a.t_arrival)

@@ -1,0 +1,134 @@
+"""Freivalds verification of matrix–vector products (paper Eqs. 6–9).
+
+Protocol for a coded matrix ``A ∈ F^{b×d}`` held by one worker:
+
+* **Key generation** (once, offline): draw ``r ∈ F^{p×b}`` uniformly,
+  precompute ``s = r·A ∈ F^{p×d}``. The pair ``(r, s)`` is the private
+  verification key; ``p`` is the probe count (``p = 1`` in the paper).
+* **Integrity check** (per result): the worker claims ``z = A·w``.
+  Accept iff ``r·z == s·w`` (all probes). Cost ``O(p(b + d))``.
+
+Completeness is exact: a correct ``z`` always passes. Soundness: a
+wrong ``z`` passes with probability at most ``q^{-p}`` — for any fixed
+``δ = z − A·w ≠ 0``, ``r·δ`` is uniform over F_q per probe (Eq. 10–11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ff.field import PrimeField
+from repro.ff.linalg import ff_matmul
+
+__all__ = ["MatvecKey", "FreivaldsVerifier", "soundness_error"]
+
+
+def soundness_error(q: int, probes: int = 1) -> float:
+    """Upper bound on the probability a forged result passes: ``q**-p``."""
+    if probes < 1:
+        raise ValueError("need at least one probe")
+    return float(q) ** (-probes)
+
+
+@dataclass(frozen=True)
+class MatvecKey:
+    """Private verification key for one worker's coded matrix.
+
+    Attributes
+    ----------
+    r:
+        ``(p, b)`` random probe matrix (``r^(1)_i`` / ``r^(2)_i`` in the
+        paper, generalized to ``p`` probes).
+    s:
+        ``(p, d)`` precomputed ``r @ A`` (``s^(1)_i`` / ``s^(2)_i``).
+    """
+
+    r: np.ndarray
+    s: np.ndarray
+
+    @property
+    def probes(self) -> int:
+        return self.r.shape[0]
+
+    @property
+    def rows(self) -> int:
+        """b: length of the results this key verifies."""
+        return self.r.shape[1]
+
+    @property
+    def cols(self) -> int:
+        """d: length of the operands this key verifies against."""
+        return self.s.shape[1]
+
+
+class FreivaldsVerifier:
+    """Key generator + integrity checker for matrix–vector workloads.
+
+    Parameters
+    ----------
+    field:
+        The computation field.
+    probes:
+        Independent probes per check. The paper uses 1 (soundness
+        ``1/q ≈ 3e-8`` for the 25-bit field); small-field tests use more.
+    """
+
+    def __init__(self, field: PrimeField, probes: int = 1):
+        if probes < 1:
+            raise ValueError("probes must be >= 1")
+        self.field = field
+        self.probes = probes
+
+    # ------------------------------------------------------------------
+    def keygen_single(self, share: np.ndarray, rng: np.random.Generator) -> MatvecKey:
+        """Key for one coded matrix ``A`` (``(b, d)``)."""
+        share = self.field.asarray(share)
+        if share.ndim != 2:
+            raise ValueError(f"share must be a matrix, got shape {share.shape}")
+        r = self.field.random((self.probes, share.shape[0]), rng)
+        s = ff_matmul(self.field, r, share)
+        return MatvecKey(r=r, s=s)
+
+    def keygen(self, shares: np.ndarray, rng: np.random.Generator) -> list[MatvecKey]:
+        """Keys for a stack of coded matrices ``(n, b, d)`` — one per
+        worker (the paper's per-worker ``V_i``)."""
+        shares = self.field.asarray(shares)
+        if shares.ndim != 3:
+            raise ValueError(f"expected (n, b, d) shares, got {shares.shape}")
+        return [self.keygen_single(s, rng) for s in shares]
+
+    # ------------------------------------------------------------------
+    def check(self, key: MatvecKey, operand: np.ndarray, claimed: np.ndarray) -> bool:
+        """Integrity check (Eq. 8/9): accept iff ``r·claimed == s·operand``.
+
+        ``operand`` is the broadcast vector (``w`` or ``e``), ``claimed``
+        the worker's returned product.
+        """
+        field = self.field
+        operand = field.asarray(operand)
+        claimed = field.asarray(claimed)
+        if claimed.shape != (key.rows,):
+            raise ValueError(
+                f"claimed result has shape {claimed.shape}, key expects ({key.rows},)"
+            )
+        if operand.shape != (key.cols,):
+            raise ValueError(
+                f"operand has shape {operand.shape}, key expects ({key.cols},)"
+            )
+        lhs = ff_matmul(field, key.r, claimed[:, None])[:, 0]
+        rhs = ff_matmul(field, key.s, operand[:, None])[:, 0]
+        return bool(np.array_equal(lhs, rhs))
+
+    # ------------------------------------------------------------------
+    # cost accounting (drives the simulator's verification timing)
+    # ------------------------------------------------------------------
+    def check_cost_ops(self, key: MatvecKey) -> int:
+        """Multiply-accumulate count of one check: ``p(b + d)`` — the
+        paper's ``O(m + d)`` with ``b = m/K`` (Sec. IV step 3)."""
+        return self.probes * (key.rows + key.cols)
+
+    def keygen_cost_ops(self, n_rows: int, n_cols: int) -> int:
+        """One-time key cost per worker: ``p·b·d`` MACs."""
+        return self.probes * n_rows * n_cols

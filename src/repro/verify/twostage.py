@@ -1,0 +1,78 @@
+"""Two-stage verification for degree-2 gramian computations.
+
+Linear-regression-style workloads ask each worker for
+``g = A^T (A w)`` — a degree-2 polynomial of the coded data ``A``.
+Verifying ``g`` directly against ``w`` would require a key for
+``A^T A``, whose computation is exactly the work being offloaded. The
+standard trick (and what the paper's two-round logistic protocol does
+implicitly across rounds) is to have the worker also return the
+intermediate ``z = A·w`` and verify the two linear stages separately:
+
+* stage 1: ``r1·z == (r1·A)·w``
+* stage 2: ``r2·g == (r2·A^T)·z``
+
+If ``z`` is wrong, stage 1 rejects w.h.p.; if ``z`` is right but ``g``
+wrong, stage 2 rejects w.h.p. — union-bound soundness ``2/q`` per probe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ff.field import PrimeField
+from repro.verify.freivalds import FreivaldsVerifier, MatvecKey
+
+__all__ = ["TwoStageKey", "TwoStageVerifier"]
+
+
+@dataclass(frozen=True)
+class TwoStageKey:
+    """Keys for both stages of an ``A^T (A w)`` computation."""
+
+    forward: MatvecKey   # verifies z = A w
+    backward: MatvecKey  # verifies g = A^T z
+
+
+class TwoStageVerifier:
+    """Key generator + checker for gramian (degree-2) worker tasks."""
+
+    def __init__(self, field: PrimeField, probes: int = 1):
+        self.field = field
+        self.probes = probes
+        self._mv = FreivaldsVerifier(field, probes)
+
+    def keygen_single(self, share: np.ndarray, rng: np.random.Generator) -> TwoStageKey:
+        share = self.field.asarray(share)
+        if share.ndim != 2:
+            raise ValueError(f"share must be a matrix, got {share.shape}")
+        return TwoStageKey(
+            forward=self._mv.keygen_single(share, rng),
+            backward=self._mv.keygen_single(share.T, rng),
+        )
+
+    def keygen(self, shares: np.ndarray, rng: np.random.Generator) -> list[TwoStageKey]:
+        shares = self.field.asarray(shares)
+        if shares.ndim != 3:
+            raise ValueError(f"expected (n, b, d) shares, got {shares.shape}")
+        return [self.keygen_single(s, rng) for s in shares]
+
+    def check(
+        self,
+        key: TwoStageKey,
+        operand: np.ndarray,
+        claimed_intermediate: np.ndarray,
+        claimed_result: np.ndarray,
+    ) -> bool:
+        """Accept iff both stages verify.
+
+        ``claimed_intermediate`` is the worker's ``z = A·w``;
+        ``claimed_result`` its ``g = A^T·z``.
+        """
+        return self._mv.check(key.forward, operand, claimed_intermediate) and self._mv.check(
+            key.backward, claimed_intermediate, claimed_result
+        )
+
+    def check_cost_ops(self, key: TwoStageKey) -> int:
+        return self._mv.check_cost_ops(key.forward) + self._mv.check_cost_ops(key.backward)

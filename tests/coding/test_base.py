@@ -1,0 +1,50 @@
+"""Tests for block partition helpers."""
+
+import numpy as np
+import pytest
+
+from repro.coding import partition_rows, stack_blocks, unpartition_rows
+
+
+class TestPartition:
+    def test_roundtrip(self, rng):
+        x = rng.integers(0, 100, size=(12, 5))
+        blocks = partition_rows(x, 4)
+        assert blocks.shape == (4, 3, 5)
+        np.testing.assert_array_equal(unpartition_rows(blocks), x)
+
+    def test_1d(self, rng):
+        v = rng.integers(0, 10, size=10)
+        blocks = partition_rows(v, 5)
+        assert blocks.shape == (5, 2)
+        np.testing.assert_array_equal(unpartition_rows(blocks), v)
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError, match="equal blocks"):
+            partition_rows(np.zeros((10, 2)), 3)
+
+    def test_k_zero_raises(self):
+        with pytest.raises(ValueError):
+            partition_rows(np.zeros((10, 2)), 0)
+
+    def test_scalar_raises(self):
+        with pytest.raises(ValueError):
+            partition_rows(np.int64(3), 1)
+
+    def test_unpartition_needs_2d(self):
+        with pytest.raises(ValueError):
+            unpartition_rows(np.zeros(3))
+
+
+class TestStackBlocks:
+    def test_stacks(self):
+        out = stack_blocks([np.zeros((2, 2)), np.ones((2, 2))])
+        assert out.shape == (2, 2, 2)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="no blocks"):
+            stack_blocks([])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="block 1"):
+            stack_blocks([np.zeros((2, 2)), np.zeros((3, 2))])

@@ -1,0 +1,190 @@
+"""Tests for the Lagrange code: roundtrips, systematicity, polynomial
+commutation, and error-corrected decoding."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import LagrangeCode, partition_rows
+from repro.ff import DecodingError, PrimeField, ff_matvec
+
+F = PrimeField(7919)
+
+
+class TestConstruction:
+    def test_defaults_systematic_when_t0(self):
+        code = LagrangeCode(F, n=6, k=3)
+        assert code.is_systematic
+        np.testing.assert_array_equal(code.beta, code.alpha[:3])
+
+    def test_t_positive_disjoint_points(self):
+        code = LagrangeCode(F, n=8, k=3, t=2)
+        assert np.intersect1d(code.alpha, code.beta).size == 0
+        assert not code.is_systematic
+
+    def test_rejects_overlap_with_t(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            LagrangeCode(F, 5, 2, 1, alpha=np.arange(1, 6), beta=np.array([5, 6, 7]))
+
+    def test_rejects_small_n(self):
+        with pytest.raises(ValueError):
+            LagrangeCode(F, n=3, k=3, t=1)
+
+    def test_rejects_duplicate_points(self):
+        with pytest.raises(ValueError):
+            LagrangeCode(F, 4, 2, alpha=np.array([1, 1, 2, 3]))
+
+    def test_recovery_threshold(self):
+        code = LagrangeCode(F, n=12, k=9)
+        assert code.recovery_threshold() == 9
+        assert code.recovery_threshold(deg_f=2) == 17
+        code_t = LagrangeCode(F, n=12, k=3, t=2)
+        assert code_t.recovery_threshold(2) == (3 + 2 - 1) * 2 + 1
+
+    def test_encoding_matrix_systematic_prefix(self):
+        code = LagrangeCode(F, n=6, k=3)
+        u = code.encoding_matrix()
+        np.testing.assert_array_equal(u[:, :3], np.eye(3, dtype=np.int64))
+
+
+class TestEncodeDecode:
+    def test_roundtrip_identity_f(self, rng):
+        code = LagrangeCode(F, n=7, k=4)
+        blocks = F.random((4, 3, 5), rng)
+        shares = code.encode(blocks)
+        got = code.decode(np.arange(4), shares[:4])
+        np.testing.assert_array_equal(got, blocks)
+
+    def test_roundtrip_every_k_subset(self, rng):
+        n, k = 7, 3
+        code = LagrangeCode(F, n=n, k=k)
+        blocks = F.random((k, 2, 2), rng)
+        shares = code.encode(blocks)
+        for subset in combinations(range(n), k):
+            idx = np.array(subset)
+            np.testing.assert_array_equal(code.decode(idx, shares[idx]), blocks)
+
+    def test_extra_shares_ignored(self, rng):
+        code = LagrangeCode(F, n=8, k=3)
+        blocks = F.random((3, 4), rng)
+        shares = code.encode(blocks)
+        np.testing.assert_array_equal(
+            code.decode(np.arange(8), shares), blocks
+        )
+
+    def test_linear_f_commutes(self, rng):
+        """decode(f(shares)) == f(blocks) for linear f (matvec)."""
+        m, d, k, n = 12, 6, 4, 7
+        x = F.random((m, d), rng)
+        w = F.random(d, rng)
+        blocks = partition_rows(x, k)
+        code = LagrangeCode(F, n=n, k=k)
+        shares = code.encode(blocks)
+        results = np.stack([ff_matvec(F, s, w) for s in shares])  # workers
+        idx = np.array([6, 2, 0, 5])  # any k, any order
+        got = code.decode(idx, results[idx])
+        want = np.stack([ff_matvec(F, b, w) for b in blocks])
+        np.testing.assert_array_equal(got, want)
+
+    def test_degree2_f_elementwise_square(self, rng):
+        """Workers compute f(X) = X*X elementwise (deg 2): need 2(k+t-1)+1
+        evaluations — the LCC degree accounting of Eq. (14)."""
+        k, t, n = 3, 1, 12
+        code = LagrangeCode(F, n=n, k=k, t=t)
+        blocks = F.random((k, 2, 3), rng)
+        shares = code.encode(blocks, rng)
+        results = shares * shares % F.q
+        need = code.recovery_threshold(deg_f=2)  # 2*3+1 = 7
+        assert need == 7
+        got = code.decode(np.arange(need), results[:need], deg_f=2)
+        np.testing.assert_array_equal(got, blocks * blocks % F.q)
+
+    def test_degree2_insufficient_shares_garbage(self, rng):
+        """With only k+t shares a degree-2 result cannot decode — the
+        code must refuse rather than silently return wrong blocks."""
+        code = LagrangeCode(F, n=12, k=3, t=1)
+        blocks = F.random((3, 2), rng)
+        shares = code.encode(blocks, rng)
+        results = shares * shares % F.q
+        with pytest.raises(ValueError, match="need 7"):
+            code.decode(np.arange(4), results[:4], deg_f=2)
+
+    def test_decode_validations(self, rng):
+        code = LagrangeCode(F, n=6, k=3)
+        shares = code.encode(F.random((3, 2), rng))
+        with pytest.raises(ValueError, match="duplicate"):
+            code.decode(np.array([0, 0, 1]), shares[[0, 0, 1]])
+        with pytest.raises(ValueError, match="out of range"):
+            code.decode(np.array([0, 1, 9]), shares[[0, 1, 2]])
+        with pytest.raises(ValueError, match="mismatch"):
+            code.decode(np.array([0, 1]), shares[[0, 1, 2]])
+
+    def test_encode_shape_validation(self, rng):
+        code = LagrangeCode(F, n=6, k=3)
+        with pytest.raises(ValueError, match="stacked blocks"):
+            code.encode(F.random((4, 2), rng))
+
+    def test_t_requires_rng(self, rng):
+        code = LagrangeCode(F, n=8, k=3, t=2)
+        with pytest.raises(ValueError, match="rng"):
+            code.encode(F.random((3, 2), rng))
+
+    @given(
+        k=st.integers(1, 5),
+        extra=st.integers(0, 4),
+        t=st.integers(0, 2),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_roundtrip(self, k, extra, t, seed):
+        r = np.random.default_rng(seed)
+        n = k + t + extra
+        code = LagrangeCode(F, n=n, k=k, t=t)
+        blocks = F.random((k, 3), r)
+        shares = code.encode(blocks, r)
+        need = code.recovery_threshold()
+        idx = r.permutation(n)[:need]
+        np.testing.assert_array_equal(code.decode(idx, shares[idx]), blocks)
+
+
+class TestDecodeCorrected:
+    def test_corrects_byzantine_shares(self, rng):
+        """k=4, n=12 linear: slack 8 -> corrects up to 4 errors."""
+        code = LagrangeCode(F, n=12, k=4)
+        blocks = F.random((4, 5), rng)
+        shares = code.encode(blocks)
+        shares[2] = F.random(5, rng)
+        shares[9] = F.random(5, rng)
+        got, errs = code.decode_corrected(np.arange(12), shares)
+        np.testing.assert_array_equal(got, blocks)
+        assert set(errs.tolist()) == {2, 9}
+
+    def test_max_errors_budget_respected(self, rng):
+        """LCC designed for M=1 cannot reliably fix 2 corruptions."""
+        code = LagrangeCode(F, n=12, k=9)
+        blocks = F.random((9, 4), rng)
+        shares = code.encode(blocks)
+        bad = [1, 5]
+        for b in bad:
+            shares[b] = F.random(4, rng)
+        # 11 of 12 received (S=1 straggler), budget M=1: must fail or
+        # produce a decode inconsistent with the true blocks.
+        received = np.arange(11)
+        try:
+            got, errs = code.decode_corrected(received, shares[:11], max_errors=1)
+        except DecodingError:
+            return
+        assert not np.array_equal(got, blocks)
+
+    def test_exact_capacity(self, rng):
+        """11 received, k=9 => slack 2 => exactly 1 error correctable."""
+        code = LagrangeCode(F, n=12, k=9)
+        blocks = F.random((9, 3), rng)
+        shares = code.encode(blocks)
+        shares[4] = F.random(3, rng)
+        got, errs = code.decode_corrected(np.arange(11), shares[:11])
+        np.testing.assert_array_equal(got, blocks)
+        assert errs.tolist() == [4]

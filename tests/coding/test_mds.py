@@ -1,0 +1,107 @@
+"""Tests for MDS codes, including the paper's Fig. 1 worked example."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.coding import MDSCode, partition_rows, unpartition_rows
+from repro.ff import PrimeField, ff_matvec
+
+F = PrimeField(7919)
+
+
+class TestFig1Example:
+    """Fig. 1: X split into X1, X2; shares X1, X2, X1+X2; the master
+    recovers X1·b from (X1+X2)·b − X2·b when worker 1 straggles."""
+
+    def test_shares(self, rng):
+        x = F.random((4, 3), rng)
+        x1, x2 = partition_rows(x, 2)
+        code = MDSCode.fig1_code(F)
+        shares = code.encode(np.stack([x1, x2]))
+        np.testing.assert_array_equal(shares[0], x1)
+        np.testing.assert_array_equal(shares[1], x2)
+        np.testing.assert_array_equal(shares[2], (x1 + x2) % F.q)
+
+    def test_straggler_recovery(self, rng):
+        x = F.random((4, 3), rng)
+        b = F.random(3, rng)
+        blocks = partition_rows(x, 2)
+        code = MDSCode.fig1_code(F)
+        shares = code.encode(blocks)
+        # worker 1 (holding X1) straggles; workers 2, 3 respond
+        results = np.stack([ff_matvec(F, s, b) for s in shares])
+        got_blocks = code.decode(np.array([1, 2]), results[[1, 2]])
+        want = ff_matvec(F, x, b)
+        np.testing.assert_array_equal(unpartition_rows(got_blocks), want)
+
+
+class TestSystematic:
+    def test_identity_prefix(self, rng):
+        code = MDSCode.systematic(F, 6, 4)
+        assert code.is_systematic
+        blocks = F.random((4, 2, 3), rng)
+        shares = code.encode(blocks)
+        np.testing.assert_array_equal(shares[:4], blocks)
+
+    def test_any_k_subset_decodes(self, rng):
+        n, k = 6, 3
+        code = MDSCode.systematic(F, n, k)
+        blocks = F.random((k, 2), rng)
+        shares = code.encode(blocks)
+        for subset in combinations(range(n), k):
+            idx = np.array(subset)
+            np.testing.assert_array_equal(code.decode(idx, shares[idx]), blocks)
+
+    def test_generator_every_submatrix_invertible(self):
+        from repro.ff import gauss_rank
+
+        code = MDSCode.systematic(F, 7, 3)
+        g = code.generator_matrix()
+        for cols in combinations(range(7), 3):
+            assert gauss_rank(F, g[:, list(cols)]) == 3
+
+
+class TestValidation:
+    def test_rejects_non_mds_generator(self):
+        # two identical columns -> a K-subset is singular
+        bad = np.array([[1, 1, 0], [2, 2, 1]])
+        with pytest.raises(ValueError, match="not MDS"):
+            MDSCode.from_generator(F, bad)
+
+    def test_rejects_deg2(self, rng):
+        code = MDSCode.systematic(F, 4, 2)
+        with pytest.raises(ValueError, match="linear"):
+            code.recovery_threshold(deg_f=2)
+        shares = code.encode(F.random((2, 2), rng))
+        with pytest.raises(ValueError, match="linear"):
+            code.decode(np.array([0, 1]), shares[:2], deg_f=2)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            MDSCode.systematic(F, 2, 3)
+        with pytest.raises(ValueError, match="generator must be"):
+            MDSCode(F, 3, 2, generator=np.eye(3, dtype=np.int64))
+
+    def test_decode_checks(self, rng):
+        code = MDSCode.systematic(F, 5, 2)
+        shares = code.encode(F.random((2, 3), rng))
+        with pytest.raises(ValueError, match="duplicate"):
+            code.decode(np.array([1, 1]), shares[[1, 1]])
+        with pytest.raises(ValueError, match="need 2"):
+            code.decode(np.array([1]), shares[[1]])
+
+
+class TestAgainstLagrange:
+    def test_mds_equals_lagrange_special_case(self, rng):
+        """The generator of the default MDS code equals the Lagrange
+        encoding matrix with t=0 — the paper's 'special case' claim."""
+        from repro.coding import LagrangeCode
+
+        mds = MDSCode.systematic(F, 8, 5)
+        lcc = LagrangeCode(F, 8, 5, 0)
+        np.testing.assert_array_equal(mds.generator_matrix(), lcc.encoding_matrix())
+
+        blocks = F.random((5, 3), rng)
+        np.testing.assert_array_equal(mds.encode(blocks), lcc.encode(blocks))

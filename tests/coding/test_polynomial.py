@@ -1,0 +1,147 @@
+"""Tests for polynomial codes (coded matrix-matrix multiplication)."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import PolynomialCode, partition_rows
+from repro.ff import PrimeField, ff_matmul
+
+F = PrimeField(7919)
+
+
+def _setup(rng, m=6, n=4, r=6, p=2, q=3, workers=8):
+    a = F.random((m, n), rng)
+    b = F.random((n, r), rng)
+    code = PolynomialCode(F, workers, p, q)
+    a_blocks = partition_rows(a, p)
+    b_blocks = partition_rows(np.ascontiguousarray(b.T), q).transpose(0, 2, 1)
+    return a, b, code, code.encode_a(a_blocks), code.encode_b(b_blocks)
+
+
+class TestConstruction:
+    def test_threshold(self):
+        assert PolynomialCode(F, 10, 2, 3).recovery_threshold == 6
+
+    def test_too_few_workers(self):
+        with pytest.raises(ValueError, match="p\\*q"):
+            PolynomialCode(F, 5, 2, 3)
+
+    def test_invalid_pq(self):
+        with pytest.raises(ValueError):
+            PolynomialCode(F, 4, 0, 2)
+
+    def test_duplicate_points(self):
+        with pytest.raises(ValueError, match="distinct"):
+            PolynomialCode(F, 3, 1, 2, points=np.array([1, 1, 2]))
+
+    def test_block_count_validation(self, rng):
+        code = PolynomialCode(F, 8, 2, 3)
+        with pytest.raises(ValueError, match="A-blocks"):
+            code.encode_a(F.random((3, 2, 4), rng))
+        with pytest.raises(ValueError, match="B-blocks"):
+            code.encode_b(F.random((2, 4, 2), rng))
+
+
+class TestEncoding:
+    def test_share_is_polynomial_evaluation(self, rng):
+        """A~_i must equal sum_j A_j x_i^j elementwise."""
+        a, b, code, a_shares, _ = _setup(rng)
+        a_blocks = partition_rows(a, 2)
+        for i in range(code.n):
+            x = int(code.points[i])
+            want = (a_blocks[0] + a_blocks[1] * x) % F.q
+            np.testing.assert_array_equal(a_shares[i], want)
+
+    def test_b_share_stride(self, rng):
+        a, b, code, _, b_shares = _setup(rng)
+        b_blocks = partition_rows(np.ascontiguousarray(b.T), 3).transpose(0, 2, 1)
+        for i in range(code.n):
+            x = int(code.points[i])
+            want = (
+                b_blocks[0]
+                + b_blocks[1] * pow(x, 2, F.q)
+                + b_blocks[2] * pow(x, 4, F.q)
+            ) % F.q
+            np.testing.assert_array_equal(b_shares[i], want)
+
+
+class TestDecode:
+    def test_full_product_roundtrip(self, rng):
+        a, b, code, a_shares, b_shares = _setup(rng)
+        products = np.stack(
+            [ff_matmul(F, a_shares[i], b_shares[i]) for i in range(code.n)]
+        )
+        idx = np.arange(code.recovery_threshold)
+        blocks = code.decode(idx, products[idx])
+        got = PolynomialCode.assemble(blocks)
+        np.testing.assert_array_equal(got, ff_matmul(F, a, b))
+
+    def test_every_pq_subset_decodes(self, rng):
+        a, b, code, a_shares, b_shares = _setup(rng, workers=8)
+        products = np.stack(
+            [ff_matmul(F, a_shares[i], b_shares[i]) for i in range(code.n)]
+        )
+        want = ff_matmul(F, a, b)
+        for subset in combinations(range(8), 6):
+            idx = np.array(subset)
+            got = PolynomialCode.assemble(code.decode(idx, products[idx]))
+            np.testing.assert_array_equal(got, want)
+
+    def test_block_level_products(self, rng):
+        """decode()[j, k] must be exactly A_j @ B_k."""
+        a, b, code, a_shares, b_shares = _setup(rng)
+        a_blocks = partition_rows(a, 2)
+        b_blocks = partition_rows(np.ascontiguousarray(b.T), 3).transpose(0, 2, 1)
+        products = np.stack(
+            [ff_matmul(F, a_shares[i], b_shares[i]) for i in range(code.n)]
+        )
+        blocks = code.decode(np.arange(6), products[:6])
+        for j in range(2):
+            for k in range(3):
+                np.testing.assert_array_equal(
+                    blocks[j, k], ff_matmul(F, a_blocks[j], b_blocks[k])
+                )
+
+    def test_decode_validations(self, rng):
+        _, _, code, a_shares, b_shares = _setup(rng)
+        products = np.stack(
+            [ff_matmul(F, a_shares[i], b_shares[i]) for i in range(code.n)]
+        )
+        with pytest.raises(ValueError, match="need 6"):
+            code.decode(np.arange(5), products[:5])
+        with pytest.raises(ValueError, match="duplicate"):
+            code.decode(np.array([0, 0, 1, 2, 3, 4]), products[[0, 0, 1, 2, 3, 4]])
+        with pytest.raises(ValueError, match="out of range"):
+            code.decode(np.array([0, 1, 2, 3, 4, 99]), products[:6])
+
+    def test_assemble_validation(self):
+        with pytest.raises(ValueError):
+            PolynomialCode.assemble(np.zeros((2, 3, 4)))
+
+    @given(
+        p=st.integers(1, 3),
+        q=st.integers(1, 3),
+        extra=st.integers(0, 3),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_roundtrip(self, p, q, extra, seed):
+        r = np.random.default_rng(seed)
+        m, n_inner, rcols = 2 * p, 3, 2 * q
+        a = F.random((m, n_inner), r)
+        b = F.random((n_inner, rcols), r)
+        code = PolynomialCode(F, p * q + extra, p, q)
+        a_sh = code.encode_a(partition_rows(a, p))
+        b_sh = code.encode_b(
+            partition_rows(np.ascontiguousarray(b.T), q).transpose(0, 2, 1)
+        )
+        products = np.stack(
+            [ff_matmul(F, a_sh[i], b_sh[i]) for i in range(code.n)]
+        )
+        idx = r.permutation(code.n)[: p * q]
+        got = PolynomialCode.assemble(code.decode(idx, products[idx]))
+        np.testing.assert_array_equal(got, ff_matmul(F, a, b))

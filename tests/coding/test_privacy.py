@@ -1,0 +1,94 @@
+"""T-privacy tests (paper Sec. III-B guarantee 3 and Theorem 1).
+
+Two layers of evidence:
+
+1. **Algebraic**: every ``T x T`` submatrix of the bottom ``T x N`` part
+   of the encoding matrix is invertible (Lemma 2 of the LCC paper, used
+   verbatim in AVCC's Theorem 1 proof). That makes the random mask
+   ``W·U_bottom`` uniform, hence shares of any T colluders are uniform.
+2. **Statistical**: empirical share distributions at T colluding workers
+   are indistinguishable between two very different datasets
+   (chi-square), and a single worker's share is marginally uniform.
+"""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.coding import LagrangeCode
+from repro.ff import PrimeField, gauss_rank
+
+SMALL = PrimeField(97)
+F = PrimeField(7919)
+
+
+class TestAlgebraicPrivacy:
+    @pytest.mark.parametrize("t", [1, 2, 3])
+    def test_bottom_submatrices_invertible(self, t):
+        code = LagrangeCode(F, n=9, k=3, t=t)
+        u = code.encoding_matrix()
+        bottom = u[3:, :]  # (t, n)
+        assert bottom.shape == (t, 9)
+        for cols in combinations(range(9), t):
+            assert gauss_rank(F, bottom[:, list(cols)]) == t
+
+    def test_t0_has_no_padding_rows(self):
+        code = LagrangeCode(F, n=6, k=3, t=0)
+        assert code.encoding_matrix().shape == (3, 6)
+
+
+class TestStatisticalPrivacy:
+    def test_single_worker_share_marginally_uniform(self, rng):
+        """With t=1, one worker's share entry is uniform over F_q
+        regardless of the data."""
+        code = LagrangeCode(SMALL, n=5, k=2, t=1)
+        data = SMALL.asarray([[7], [13]])  # fixed, highly non-uniform
+        samples = np.array(
+            [int(code.encode(data, rng)[3, 0]) for _ in range(20000)]
+        )
+        counts = np.bincount(samples, minlength=97)
+        chi2 = ((counts - counts.mean()) ** 2 / counts.mean()).sum()
+        # df = 96; 99.9th percentile ~ 147. Reject only on extreme values.
+        assert chi2 < stats.chi2.ppf(0.999, df=96)
+
+    def test_colluding_pair_distribution_independent_of_data(self, rng):
+        """t=2: the joint share distribution at two colluding workers is
+        the same for two different datasets (two-sample chi-square on a
+        hashed projection of the pair)."""
+        code = LagrangeCode(SMALL, n=7, k=2, t=2)
+        data_a = SMALL.asarray([[1], [2]])
+        data_b = SMALL.asarray([[90], [45]])
+        colluders = [0, 4]
+
+        def sample(data, n_iter):
+            out = np.empty(n_iter, dtype=np.int64)
+            for i in range(n_iter):
+                sh = code.encode(data, rng)
+                out[i] = (int(sh[colluders[0], 0]) * 97 + int(sh[colluders[1], 0])) % 101
+            return out
+
+        sa, sb = sample(data_a, 8000), sample(data_b, 8000)
+        table = np.stack([np.bincount(sa, minlength=101), np.bincount(sb, minlength=101)])
+        _, p, _, _ = stats.chi2_contingency(table)
+        assert p > 1e-4  # indistinguishable
+
+    def test_without_padding_shares_leak(self, rng):
+        """Negative control: with t=0 the shares are a deterministic
+        function of the data — colluders trivially distinguish datasets."""
+        code = LagrangeCode(SMALL, n=5, k=2, t=0)
+        data_a = SMALL.asarray([[1], [2]])
+        data_b = SMALL.asarray([[90], [45]])
+        assert not np.array_equal(code.encode(data_a), code.encode(data_b))
+        # and they are deterministic: repeated encodes identical
+        np.testing.assert_array_equal(code.encode(data_a), code.encode(data_a))
+
+    def test_decode_unaffected_by_padding(self, rng):
+        """Privacy padding must not change the decoded computation."""
+        code = LagrangeCode(F, n=9, k=3, t=2)
+        blocks = F.random((3, 4), rng)
+        shares = code.encode(blocks, rng)
+        need = code.recovery_threshold()
+        got = code.decode(np.arange(need), shares[:need])
+        np.testing.assert_array_equal(got, blocks)

@@ -1,0 +1,34 @@
+"""Shared fixtures: fields of several sizes and deterministic RNGs.
+
+Tests default to a small prime field (fast, and makes soundness
+probabilities like ``1/q`` large enough to observe statistically) but
+key integration tests also run over the paper's 25-bit field.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ff import DEFAULT_PRIME, PrimeField
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20220322)  # arXiv v2 date
+
+
+@pytest.fixture
+def small_field():
+    """F_97: tiny field for statistical/adversarial tests."""
+    return PrimeField(97)
+
+
+@pytest.fixture
+def mid_field():
+    """F_7919: roomy enough for coding tests, still fast."""
+    return PrimeField(7919)
+
+
+@pytest.fixture
+def paper_field():
+    """The paper's field, q = 2**25 - 39."""
+    return PrimeField(DEFAULT_PRIME)

@@ -1,0 +1,157 @@
+"""Tests for the adaptive policy (Eqs. 16–19) and the encoding cache."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AdaptivePolicy, EncodingCache
+from repro.ff import PrimeField
+
+F = PrimeField(7919)
+
+
+class TestPolicyMDS:
+    def test_fig5_scenario(self):
+        """Fig. 5: (N=12, K=9), 3 stragglers + 1 Byzantine observed ->
+        A_t = 12-1-3-9-0 = -1 < 0 -> new scheme (11, 8)."""
+        policy = AdaptivePolicy(mode="mds")
+        d = policy.decide(n_t=12, k_t=9, m_t=1, s_t=3)
+        assert d.slack == -1
+        assert (d.new_n, d.new_k) == (11, 8)
+        assert d.reencode
+
+    def test_positive_slack_drops_byzantine_only(self):
+        """Eq. 17 top branch: A_t >= 0 -> (N-M, K), no re-encode."""
+        policy = AdaptivePolicy(mode="mds")
+        d = policy.decide(n_t=12, k_t=9, m_t=1, s_t=1)
+        assert d.slack == 1
+        assert (d.new_n, d.new_k) == (11, 9)
+        assert not d.reencode
+
+    def test_exactly_zero_slack(self):
+        policy = AdaptivePolicy(mode="mds")
+        d = policy.decide(n_t=12, k_t=9, m_t=1, s_t=2)
+        assert d.slack == 0
+        assert (d.new_n, d.new_k) == (11, 9)
+        assert not d.reencode
+
+    def test_t_colluders_consume_slack(self):
+        policy = AdaptivePolicy(mode="mds")
+        assert policy.decide(12, 9, 1, 1, t_t=1).slack == 0
+        assert policy.decide(12, 9, 1, 1, t_t=2).slack == -1
+
+    def test_infeasible_raises(self):
+        policy = AdaptivePolicy(mode="mds", min_k=1)
+        with pytest.raises(ValueError, match="no feasible"):
+            policy.decide(n_t=4, k_t=2, m_t=2, s_t=2)
+
+    def test_invalid_observation(self):
+        policy = AdaptivePolicy()
+        with pytest.raises(ValueError):
+            policy.slack(0, 1, 0, 0)
+        with pytest.raises(ValueError):
+            policy.slack(4, 2, -1, 0)
+
+
+class TestPolicyLagrange:
+    def test_degree_weighted_slack(self):
+        """Eq. 18: A_t = N - M - S - (K+T-1) deg f."""
+        policy = AdaptivePolicy(mode="lagrange", deg_f=2)
+        assert policy.slack(20, 4, m_t=1, s_t=2, t_t=1) == 20 - 1 - 2 - 8
+
+    def test_shrink_uses_floor_division(self):
+        """Eq. 19: K' = K + floor(A_t / deg f)."""
+        policy = AdaptivePolicy(mode="lagrange", deg_f=2)
+        d = policy.decide(n_t=12, k_t=6, m_t=1, s_t=2, t_t=0)
+        # A = 12-1-2-10 = -1; floor(-1/2) = -1 -> K' = 5
+        assert d.slack == -1
+        assert (d.new_n, d.new_k) == (11, 5)
+        assert d.reencode
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            AdaptivePolicy(mode="bogus")
+        with pytest.raises(ValueError):
+            AdaptivePolicy(deg_f=0)
+
+    @given(
+        n=st.integers(4, 30),
+        k=st.integers(1, 10),
+        m=st.integers(0, 3),
+        s=st.integers(0, 3),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_new_scheme_feasible(self, n, k, m, s):
+        """Whenever the policy returns a decision, the new scheme must be
+        decodable: K' + S' <= N' for every straggler level up to the
+        observed one."""
+        policy = AdaptivePolicy(mode="mds")
+        if n - m - s < k + 0:
+            # may raise (infeasible) — that is acceptable behaviour
+            try:
+                d = policy.decide(n, k, m, s)
+            except ValueError:
+                return
+        else:
+            d = policy.decide(n, k, m, s)
+        assert d.new_k >= 1
+        assert d.new_n - s >= d.new_k or d.slack >= 0
+
+
+class TestEncodingCache:
+    def test_builds_consistent_config(self, rng):
+        x = F.random((12, 10), rng)
+        cache = EncodingCache(F, x, rng=rng)
+        cfg = cache.get(6, 4)
+        assert cfg.fwd_shares.shape == (6, 3, 10)   # m=12, k=4 -> 3 rows
+        assert cfg.bwd_shares.shape == (6, 3, 12)   # d=10 padded to 12
+        assert cfg.m_pad == 12 and cfg.d_pad == 12
+        assert len(cfg.fwd_keys) == 6 and len(cfg.bwd_keys) == 6
+
+    def test_memoized(self, rng):
+        x = F.random((8, 4), rng)
+        cache = EncodingCache(F, x, rng=rng)
+        assert cache.get(4, 2) is cache.get(4, 2)
+
+    def test_prebuild(self, rng):
+        x = F.random((8, 4), rng)
+        cache = EncodingCache(F, x, rng=rng)
+        cache.prebuild([(4, 2), (3, 2)])
+        assert (4, 2) in cache._configs and (3, 2) in cache._configs
+
+    def test_padding_roundtrip_through_decode(self, rng):
+        """Padded encode/decode must reproduce X w exactly."""
+        from repro.ff import ff_matvec
+
+        x = F.random((10, 7), rng)  # 10 rows, k=4 -> pad to 12
+        w = F.random(7, rng)
+        cache = EncodingCache(F, x, rng=rng)
+        cfg = cache.get(6, 4)
+        results = np.stack(
+            [ff_matvec(F, s, w) for s in cfg.fwd_shares]
+        )
+        blocks = cfg.code.decode(np.arange(4), results[:4])
+        got = blocks.reshape(-1)[:10]
+        np.testing.assert_array_equal(got, ff_matvec(F, x, w))
+
+    def test_no_keys_mode(self, rng):
+        cache = EncodingCache(F, F.random((4, 4), rng), build_keys=False, rng=rng)
+        cfg = cache.get(4, 2)
+        assert cfg.fwd_keys == () and cfg.bwd_keys == ()
+
+    def test_share_elements(self, rng):
+        cache = EncodingCache(F, F.random((8, 6), rng), rng=rng)
+        cfg = cache.get(4, 2)
+        assert cfg.share_elements_per_worker() == cfg.fwd_shares[0].size + cfg.bwd_shares[0].size
+
+    def test_rejects_non_matrix(self, rng):
+        with pytest.raises(ValueError):
+            EncodingCache(F, F.random(5, rng))
+
+    def test_privacy_padding_used_when_t_positive(self, rng):
+        x = F.random((6, 4), rng)
+        cache = EncodingCache(F, x, t=1, rng=rng)
+        cfg = cache.get(6, 2)
+        assert cfg.code.t == 1
+        assert not cfg.code.is_systematic

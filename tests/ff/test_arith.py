@@ -1,0 +1,103 @@
+"""Unit + property tests for low-level modular arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ff import DEFAULT_PRIME, batch_inverse, is_prime, mod_inverse, mod_pow
+
+PRIMES = [2, 3, 5, 97, 7919, DEFAULT_PRIME, 2**31 - 1]
+COMPOSITES = [0, 1, 4, 91, 561, 2**25 - 1, 3 * 7919]
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("p", PRIMES)
+    def test_accepts_primes(self, p):
+        assert is_prime(p)
+
+    @pytest.mark.parametrize("n", COMPOSITES)
+    def test_rejects_composites(self, n):
+        assert not is_prime(n)
+
+    def test_paper_field_is_largest_25bit_prime(self):
+        """Sec. V claims q = 2**25 - 39 is the largest 25-bit prime."""
+        assert is_prime(DEFAULT_PRIME)
+        for n in range(2**25 - 1, DEFAULT_PRIME, -1):
+            assert not is_prime(n)
+
+    def test_negative(self):
+        assert not is_prime(-7)
+
+
+class TestModPow:
+    def test_matches_python_pow_scalarwise(self, rng):
+        q = 7919
+        base = rng.integers(0, q, size=50)
+        for e in [0, 1, 2, 7, q - 2, q - 1, 12345]:
+            got = mod_pow(base, e, q)
+            want = np.array([pow(int(b), e, q) for b in base])
+            np.testing.assert_array_equal(got, want)
+
+    def test_zero_exponent_of_zero_base(self):
+        # Convention: 0**0 = 1 (empty product), matching python pow.
+        assert mod_pow(np.array([0]), 0, 97)[0] == 1
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            mod_pow(np.array([3]), -1, 97)
+
+    def test_unreduced_base(self):
+        assert mod_pow(np.array([97 + 3]), 2, 97)[0] == 9
+
+    @given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=60, deadline=None)
+    def test_property_vs_pow(self, b, e):
+        q = DEFAULT_PRIME
+        assert mod_pow(np.array([b]), e, q)[0] == pow(b, e, q)
+
+
+class TestModInverse:
+    @pytest.mark.parametrize("q", [5, 97, 7919, DEFAULT_PRIME])
+    def test_inverse_property(self, q, rng):
+        a = rng.integers(1, q, size=200)
+        inv = mod_inverse(a, q)
+        np.testing.assert_array_equal(a * inv % q, np.ones_like(a))
+
+    def test_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            mod_inverse(np.array([0, 1]), 97)
+
+    def test_preserves_shape(self, rng):
+        a = rng.integers(1, 97, size=(3, 4))
+        assert mod_inverse(a, 97).shape == (3, 4)
+
+
+class TestBatchInverse:
+    def test_matches_fermat(self, rng):
+        q = 7919
+        a = rng.integers(1, q, size=64)
+        np.testing.assert_array_equal(batch_inverse(a, q), mod_inverse(a, q))
+
+    def test_single_element(self):
+        assert batch_inverse(np.array([2]), 7)[0] == 4
+
+    def test_empty(self):
+        assert batch_inverse(np.zeros(0, dtype=np.int64), 7).size == 0
+
+    def test_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            batch_inverse(np.array([3, 0]), 97)
+
+    def test_2d_shape_preserved(self, rng):
+        a = rng.integers(1, 97, size=(5, 3))
+        out = batch_inverse(a, 97)
+        assert out.shape == (5, 3)
+        np.testing.assert_array_equal(a * out % 97, np.ones_like(a))
+
+    @given(st.lists(st.integers(min_value=1, max_value=96), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_property_all_inverses(self, vals):
+        a = np.array(vals, dtype=np.int64)
+        inv = batch_inverse(a, 97)
+        assert np.all(a * inv % 97 == 1)

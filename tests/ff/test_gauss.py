@@ -1,0 +1,124 @@
+"""Tests for exact Gaussian elimination over F_q."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ff import (
+    PrimeField,
+    SingularMatrixError,
+    ff_matmul,
+    gauss_inverse,
+    gauss_rank,
+    gauss_solve,
+    gauss_solve_any,
+)
+
+F = PrimeField(97)
+
+
+class TestSolve:
+    def test_identity(self, rng):
+        b = F.random(5, rng)
+        np.testing.assert_array_equal(gauss_solve(F, np.eye(5, dtype=np.int64), b), b)
+
+    def test_known_system(self):
+        a = np.array([[2, 1], [1, 3]])
+        x = np.array([4, 5])
+        b = ff_matmul(F, a, x[:, None])[:, 0]
+        np.testing.assert_array_equal(gauss_solve(F, a, b), x)
+
+    def test_matrix_rhs(self, rng):
+        a = F.random((6, 6), rng)
+        x = F.random((6, 3), rng)
+        b = ff_matmul(F, a, x)
+        np.testing.assert_array_equal(gauss_solve(F, a, b), x)
+
+    def test_singular_raises(self):
+        a = np.array([[1, 2], [2, 4]])  # rank 1
+        with pytest.raises(SingularMatrixError):
+            gauss_solve(F, a, np.array([1, 1]))
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError, match="square"):
+            gauss_solve(F, np.ones((2, 3), dtype=np.int64), np.ones(2, dtype=np.int64))
+
+    def test_needs_pivot_swap(self):
+        a = np.array([[0, 1], [1, 0]])
+        np.testing.assert_array_equal(gauss_solve(F, a, np.array([7, 9])), [9, 7])
+
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_property_roundtrip(self, seed, n):
+        r = np.random.default_rng(seed)
+        # Random matrices over F_97 are invertible w.h.p.; retry until so.
+        for _ in range(10):
+            a = F.random((n, n), r)
+            if gauss_rank(F, a) == n:
+                break
+        else:
+            pytest.skip("no invertible sample")
+        x = F.random(n, r)
+        b = ff_matmul(F, a, x[:, None])[:, 0]
+        np.testing.assert_array_equal(gauss_solve(F, a, b), x)
+
+
+class TestInverse:
+    def test_inverse_product(self, rng):
+        for _ in range(5):
+            a = F.random((5, 5), rng)
+            if gauss_rank(F, a) < 5:
+                continue
+            inv = gauss_inverse(F, a)
+            np.testing.assert_array_equal(
+                ff_matmul(F, a, inv), np.eye(5, dtype=np.int64)
+            )
+
+
+class TestRank:
+    def test_full_rank(self):
+        assert gauss_rank(F, np.eye(4, dtype=np.int64)) == 4
+
+    def test_rank_deficient(self):
+        a = np.array([[1, 2, 3], [2, 4, 6], [1, 0, 1]])
+        assert gauss_rank(F, a) == 2
+
+    def test_zero_matrix(self):
+        assert gauss_rank(F, np.zeros((3, 3), dtype=np.int64)) == 0
+
+    def test_rectangular(self):
+        assert gauss_rank(F, np.array([[1, 0, 0], [0, 1, 0]])) == 2
+
+
+class TestSolveAny:
+    def test_underdetermined_finds_solution(self):
+        a = np.array([[1, 1, 0], [0, 1, 1]])
+        b = np.array([3, 5])
+        x = gauss_solve_any(F, a, b)
+        assert x is not None
+        np.testing.assert_array_equal(ff_matmul(F, a, x[:, None])[:, 0], b)
+
+    def test_inconsistent_returns_none(self):
+        a = np.array([[1, 1], [2, 2]])
+        b = np.array([1, 3])  # 2*(first) must equal second => inconsistent
+        assert gauss_solve_any(F, a, b) is None
+
+    def test_overdetermined_consistent(self, rng):
+        x_true = F.random(3, rng)
+        a = F.random((6, 3), rng)
+        b = ff_matmul(F, a, x_true[:, None])[:, 0]
+        x = gauss_solve_any(F, a, b)
+        assert x is not None
+        np.testing.assert_array_equal(ff_matmul(F, a, x[:, None])[:, 0], b)
+
+    @given(seed=st.integers(0, 2**32 - 1), rows=st.integers(1, 7), cols=st.integers(1, 7))
+    @settings(max_examples=50, deadline=None)
+    def test_property_solution_always_valid(self, seed, rows, cols):
+        r = np.random.default_rng(seed)
+        a = F.random((rows, cols), r)
+        x_true = F.random(cols, r)
+        b = ff_matmul(F, a, x_true[:, None])[:, 0]
+        x = gauss_solve_any(F, a, b)
+        assert x is not None  # constructed consistent
+        np.testing.assert_array_equal(ff_matmul(F, a, x[:, None])[:, 0], b)

@@ -1,0 +1,106 @@
+"""Tests for Lagrange basis evaluation and interpolation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ff import (
+    Poly,
+    PrimeField,
+    barycentric_weights,
+    eval_lagrange_basis,
+    interpolate_eval,
+    lagrange_coeff_matrix,
+)
+
+F = PrimeField(7919)
+
+
+class TestBarycentricWeights:
+    def test_direct_formula(self):
+        xs = np.array([2, 5, 11])
+        w = barycentric_weights(F, xs)
+        for j in range(3):
+            prod = 1
+            for k in range(3):
+                if k != j:
+                    prod = prod * (int(xs[j]) - int(xs[k])) % F.q
+            assert w[j] == pow(prod, F.q - 2, F.q)
+
+    def test_duplicate_points_raise(self):
+        with pytest.raises(ValueError, match="distinct"):
+            barycentric_weights(F, np.array([1, 2, 1]))
+
+
+class TestBasisEvaluation:
+    def test_partition_of_unity(self, rng):
+        """sum_j l_j(z) = 1 for every z (interpolating the constant 1)."""
+        xs = F.distinct_points(8)
+        z = F.random(20, rng)
+        basis = eval_lagrange_basis(F, xs, z)
+        np.testing.assert_array_equal(basis.sum(axis=0) % F.q, np.ones(20, dtype=np.int64))
+
+    def test_indicator_at_nodes(self):
+        xs = np.array([3, 7, 12, 20])
+        basis = eval_lagrange_basis(F, xs, xs)
+        np.testing.assert_array_equal(basis, np.eye(4, dtype=np.int64))
+
+    def test_mixed_nodes_and_fresh_points(self):
+        xs = np.array([1, 2, 3])
+        z = np.array([2, 50])  # one coincident, one fresh
+        basis = eval_lagrange_basis(F, xs, z)
+        np.testing.assert_array_equal(basis[:, 0], [0, 1, 0])
+        assert basis[:, 1].sum() % F.q == 1
+
+    def test_reproduces_polynomial(self, rng):
+        """Interpolation through poly samples reproduces poly values."""
+        p = Poly(F, rng.integers(0, F.q, size=5))  # degree 4
+        xs = F.distinct_points(5)
+        z = F.random(10, rng)
+        basis = eval_lagrange_basis(F, xs, z)
+        got = basis.T @ p(xs) % F.q
+        np.testing.assert_array_equal(got, p(z))
+
+
+class TestInterpolateEval:
+    def test_scalar_values(self, rng):
+        p = Poly(F, rng.integers(0, F.q, size=4))
+        xs = F.distinct_points(4)
+        z = F.distinct_points(6, start=100)
+        np.testing.assert_array_equal(interpolate_eval(F, xs, p(xs), z), p(z))
+
+    def test_matrix_values(self, rng):
+        """Vector-valued interpolation = column-wise scalar interpolation."""
+        xs = F.distinct_points(5)
+        z = F.distinct_points(3, start=50)
+        ys = F.random((5, 7), rng)
+        got = interpolate_eval(F, xs, ys, z)
+        for c in range(7):
+            np.testing.assert_array_equal(
+                got[:, c], interpolate_eval(F, xs, ys[:, c], z)
+            )
+
+    def test_identity_when_same_points(self, rng):
+        xs = F.distinct_points(6)
+        ys = F.random((6, 4), rng)
+        np.testing.assert_array_equal(interpolate_eval(F, xs, ys, xs), ys)
+
+    @given(deg=st.integers(0, 8), seed=st.integers(0, 2**32 - 1), extra=st.integers(0, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_property_degree_recovery(self, deg, seed, extra):
+        """Any deg-d poly is exactly recovered from d+1+extra samples."""
+        r = np.random.default_rng(seed)
+        p = Poly(F, r.integers(0, F.q, size=deg + 1))
+        n = deg + 1 + extra
+        xs = F.distinct_points(n)
+        z = F.distinct_points(5, start=200)
+        np.testing.assert_array_equal(interpolate_eval(F, xs, p(xs), z), p(z))
+
+
+class TestCoeffMatrix:
+    def test_alias(self):
+        xs, z = np.array([1, 2]), np.array([5])
+        np.testing.assert_array_equal(
+            lagrange_coeff_matrix(F, xs, z), eval_lagrange_basis(F, xs, z)
+        )

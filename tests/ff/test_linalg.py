@@ -1,0 +1,124 @@
+"""Tests for overflow-safe field linear algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ff import PrimeField, ff_dot, ff_matmul, ff_matvec, safe_chunk_len
+
+
+def _ref_matmul(a, b, q):
+    """Object-dtype (bignum) reference — immune to overflow."""
+    return np.array(
+        (a.astype(object) @ b.astype(object)) % q, dtype=np.int64
+    )
+
+
+class TestSafeChunk:
+    @pytest.mark.parametrize("q", [97, 7919, 2**25 - 39, 2**31 - 1])
+    def test_bound(self, q):
+        c = safe_chunk_len(q)
+        imax = np.iinfo(np.int64).max
+        assert c * (q - 1) ** 2 + (q - 1) <= imax
+        assert (c + 1) * (q - 1) ** 2 + (q - 1) > imax
+
+
+class TestMatmul:
+    def test_small_matches_reference(self, paper_field, rng):
+        a = paper_field.random((7, 11), rng)
+        b = paper_field.random((11, 5), rng)
+        np.testing.assert_array_equal(
+            ff_matmul(paper_field, a, b), _ref_matmul(a, b, paper_field.q)
+        )
+
+    def test_chunked_path_matches_reference(self, paper_field, rng):
+        """Force the chunked path by shrinking the field's chunk bound."""
+        a = paper_field.random((4, 25), rng)
+        b = paper_field.random((25, 3), rng)
+        want = _ref_matmul(a, b, paper_field.q)
+        paper_field.chunk = 7  # 25 inner dims -> 4 chunks
+        try:
+            np.testing.assert_array_equal(ff_matmul(paper_field, a, b), want)
+        finally:
+            paper_field.chunk = safe_chunk_len(paper_field.q)
+
+    def test_wide_31bit_field_no_overflow(self, rng):
+        """Worst case: q near 2**31 forces chunk == 1."""
+        f = PrimeField(2**31 - 1)
+        assert f.chunk >= 1
+        a = f.random((3, 40), rng)
+        b = f.random((40, 2), rng)
+        np.testing.assert_array_equal(ff_matmul(f, a, b), _ref_matmul(a, b, f.q))
+
+    def test_unreduced_inputs(self, small_field):
+        a = np.array([[-1, 98]])
+        b = np.array([[3], [4]])
+        # (-1*3 + 98*4) mod 97 == (96*3 + 1*4) mod 97
+        assert ff_matmul(small_field, a, b)[0, 0] == (96 * 3 + 4) % 97
+
+    def test_shape_errors(self, small_field):
+        with pytest.raises(ValueError, match="inner dims"):
+            ff_matmul(small_field, np.ones((2, 3), dtype=np.int64), np.ones((4, 2), dtype=np.int64))
+        with pytest.raises(ValueError, match="2-D"):
+            ff_matmul(small_field, np.ones(3, dtype=np.int64), np.ones((3, 2), dtype=np.int64))
+
+    @given(
+        n=st.integers(1, 6),
+        k=st.integers(1, 20),
+        m=st.integers(1, 6),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_reference(self, n, k, m, seed):
+        f = PrimeField(2**25 - 39)
+        r = np.random.default_rng(seed)
+        a = f.random((n, k), r)
+        b = f.random((k, m), r)
+        np.testing.assert_array_equal(ff_matmul(f, a, b), _ref_matmul(a, b, f.q))
+
+
+class TestMatvec:
+    def test_matches_matmul(self, paper_field, rng):
+        a = paper_field.random((9, 30), rng)
+        x = paper_field.random(30, rng)
+        np.testing.assert_array_equal(
+            ff_matvec(paper_field, a, x), ff_matmul(paper_field, a, x[:, None])[:, 0]
+        )
+
+    def test_chunked(self, paper_field, rng):
+        a = paper_field.random((3, 50), rng)
+        x = paper_field.random(50, rng)
+        want = _ref_matmul(a, x[:, None], paper_field.q)[:, 0]
+        paper_field.chunk = 8
+        try:
+            np.testing.assert_array_equal(ff_matvec(paper_field, a, x), want)
+        finally:
+            paper_field.chunk = safe_chunk_len(paper_field.q)
+
+    def test_requires_1d(self, small_field):
+        with pytest.raises(ValueError, match="1-D"):
+            ff_matvec(small_field, np.ones((2, 2), dtype=np.int64), np.ones((2, 1), dtype=np.int64))
+
+
+class TestDot:
+    def test_basic(self, small_field):
+        assert ff_dot(small_field, np.array([1, 2, 3]), np.array([4, 5, 6])) == 32 % 97
+
+    def test_chunked_matches(self, paper_field, rng):
+        x = paper_field.random(100, rng)
+        y = paper_field.random(100, rng)
+        want = ff_dot(paper_field, x, y)
+        paper_field.chunk = 9
+        try:
+            assert ff_dot(paper_field, x, y) == want
+        finally:
+            paper_field.chunk = safe_chunk_len(paper_field.q)
+
+    def test_returns_python_int(self, small_field, rng):
+        out = ff_dot(small_field, small_field.random(5, rng), small_field.random(5, rng))
+        assert isinstance(out, int)
+
+    def test_mismatched_raises(self, small_field):
+        with pytest.raises(ValueError):
+            ff_dot(small_field, np.array([1, 2]), np.array([1, 2, 3]))

@@ -1,0 +1,184 @@
+"""Tests for Reed–Solomon coding and Berlekamp–Welch decoding.
+
+These pin down the exact property LCC's Byzantine tolerance rests on:
+with slack ``n - (D+1)`` spare evaluations, up to ``slack // 2`` errors
+are correctable — i.e. each Byzantine worker costs *two* workers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ff import (
+    DecodingError,
+    Poly,
+    PrimeField,
+    ReedSolomon,
+    berlekamp_welch,
+)
+
+F = PrimeField(7919)
+
+
+def _random_poly(rng, deg):
+    return Poly(F, rng.integers(0, F.q, size=deg + 1))
+
+
+def _corrupt(rng, ys, positions):
+    out = ys.copy()
+    for p in positions:
+        old = out[p]
+        while out[p] == old:
+            out[p] = rng.integers(0, F.q)
+    return out
+
+
+class TestBerlekampWelch:
+    def test_no_errors(self, rng):
+        p = _random_poly(rng, 4)
+        xs = F.distinct_points(8)
+        got, errs = berlekamp_welch(F, xs, p(xs), 4)
+        assert got == p and errs.size == 0
+
+    @pytest.mark.parametrize("n_err", [1, 2, 3])
+    def test_corrects_errors_within_capacity(self, rng, n_err):
+        deg = 3
+        n = deg + 1 + 2 * n_err
+        p = _random_poly(rng, deg)
+        xs = F.distinct_points(n)
+        pos = rng.choice(n, size=n_err, replace=False)
+        ys = _corrupt(rng, p(xs), pos)
+        got, errs = berlekamp_welch(F, xs, ys, deg)
+        assert got == p
+        assert set(errs.tolist()) == set(pos.tolist())
+
+    def test_beyond_capacity_not_silently_wrong(self, rng):
+        """With errors > capacity the decoder must not return the true
+        polynomial labelled as clean — either it raises or it returns
+        some other consistent codeword."""
+        deg, n = 2, 5  # capacity = 1
+        p = _random_poly(rng, deg)
+        xs = F.distinct_points(n)
+        pos = rng.choice(n, size=2, replace=False)
+        ys = _corrupt(rng, p(xs), pos)
+        try:
+            got, errs = berlekamp_welch(F, xs, ys, deg)
+        except DecodingError:
+            return
+        # If it decoded, the result must be consistent with >= n-1 points.
+        resid = (got(xs) - ys) % F.q
+        assert np.count_nonzero(resid) <= 1
+
+    def test_too_few_points(self):
+        with pytest.raises(DecodingError):
+            berlekamp_welch(F, np.array([1, 2]), np.array([1, 2]), 2)
+
+    def test_max_errors_caps_budget(self, rng):
+        deg = 2
+        n = deg + 1 + 4  # capacity 2
+        p = _random_poly(rng, deg)
+        xs = F.distinct_points(n)
+        pos = rng.choice(n, size=2, replace=False)
+        ys = _corrupt(rng, p(xs), pos)
+        # budget 2 decodes
+        got, _ = berlekamp_welch(F, xs, ys, deg, max_errors=2)
+        assert got == p
+        # budget 1 must not succeed with 2 errors against the true poly
+        try:
+            got1, errs1 = berlekamp_welch(F, xs, ys, deg, max_errors=1)
+        except DecodingError:
+            return
+        assert np.count_nonzero((got1(xs) - ys) % F.q) <= 1
+
+    def test_degree_zero_message(self, rng):
+        xs = F.distinct_points(5)
+        ys = np.full(5, 42, dtype=np.int64)
+        ys[3] = 17
+        got, errs = berlekamp_welch(F, xs, ys, 0)
+        assert got == Poly(F, [42])
+        assert errs.tolist() == [3]
+
+    @given(
+        deg=st.integers(0, 5),
+        n_err=st.integers(0, 3),
+        extra=st.integers(0, 2),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip(self, deg, n_err, extra, seed):
+        r = np.random.default_rng(seed)
+        n = deg + 1 + 2 * n_err + extra
+        p = Poly(F, r.integers(0, F.q, size=deg + 1))
+        xs = F.distinct_points(n)
+        pos = r.choice(n, size=n_err, replace=False) if n_err else np.zeros(0, int)
+        ys = _corrupt(r, p(xs), pos)
+        got, errs = berlekamp_welch(F, xs, ys, deg)
+        assert got == p
+        assert set(errs.tolist()) == set(np.asarray(pos).tolist())
+
+
+class TestReedSolomonCodec:
+    def _codec(self, n=10, deg=3):
+        return ReedSolomon(F, F.distinct_points(n), deg)
+
+    def test_encode_evaluates(self, rng):
+        rs = self._codec()
+        p = _random_poly(rng, 3)
+        np.testing.assert_array_equal(rs.encode_poly(p), p(rs.eval_points))
+
+    def test_encode_degree_check(self, rng):
+        rs = self._codec(deg=2)
+        with pytest.raises(ValueError):
+            rs.encode_poly(_random_poly(rng, 3))
+
+    def test_decode_vector_symbols_with_errors(self, rng):
+        n, deg, width = 10, 3, 6
+        rs = self._codec(n, deg)
+        # message: one polynomial per column
+        polys = [_random_poly(rng, deg) for _ in range(width)]
+        word = np.stack([p(rs.eval_points) for p in polys], axis=1)
+        bad = [1, 7]
+        word_rx = word.copy()
+        word_rx[bad] = F.random((2, width), rng)
+        out_pts = F.distinct_points(4, start=500)
+        res = rs.decode(np.arange(n), word_rx, out_pts)
+        assert set(res.error_positions.tolist()) == set(bad)
+        want = np.stack([p(out_pts) for p in polys], axis=1)
+        np.testing.assert_array_equal(res.values, want)
+
+    def test_decode_with_erasures_and_errors(self, rng):
+        n, deg = 12, 3
+        rs = self._codec(n, deg)
+        p = _random_poly(rng, deg)
+        word = p(rs.eval_points)
+        received = [0, 2, 3, 5, 6, 8, 9, 11]  # 4 erased
+        vals = word[received].copy()
+        vals[2] = (vals[2] + 1) % F.q  # one error among received
+        out_pts = np.array([700])
+        res = rs.decode(received, vals, out_pts)
+        assert res.error_positions.tolist() == [2]
+        assert res.values[0] == p(700)
+
+    def test_decode_scalar_squeeze(self, rng):
+        rs = self._codec()
+        p = _random_poly(rng, 3)
+        res = rs.decode(np.arange(10), p(rs.eval_points), np.array([123, 456]))
+        assert res.values.ndim == 1
+        np.testing.assert_array_equal(res.values, p(np.array([123, 456])))
+
+    def test_insufficient_symbols_raise(self, rng):
+        rs = self._codec(deg=5)
+        with pytest.raises(DecodingError):
+            rs.decode(np.arange(4), F.random((4, 2), rng), np.array([1]))
+
+    def test_duplicate_eval_points_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            ReedSolomon(F, np.array([1, 1, 2]), 1)
+
+    def test_erasure_only_budget_zero(self, rng):
+        """Exactly deg+1 symbols: decode must work but tolerates nothing."""
+        rs = self._codec(n=6, deg=5)
+        p = _random_poly(rng, 5)
+        res = rs.decode(np.arange(6), p(rs.eval_points), np.array([9]))
+        assert res.values[0] == p(9)

@@ -1,0 +1,50 @@
+"""Tests for Vandermonde utilities and the MDS submatrix property."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.ff import (
+    Poly,
+    PrimeField,
+    gauss_rank,
+    vandermonde_matrix,
+    vandermonde_solve,
+)
+
+F = PrimeField(7919)
+
+
+class TestMatrix:
+    def test_shape_and_values(self):
+        v = vandermonde_matrix(F, np.array([2, 3]), 4)
+        np.testing.assert_array_equal(v, [[1, 2, 4, 8], [1, 3, 9, 27]])
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            vandermonde_matrix(F, np.ones((2, 2), dtype=np.int64), 3)
+
+    def test_every_square_submatrix_invertible(self):
+        """The MDS property: any K rows of a K-column Vandermonde matrix
+        on distinct points form an invertible matrix."""
+        k, n = 3, 6
+        v = vandermonde_matrix(F, F.distinct_points(n), k)
+        for rows in combinations(range(n), k):
+            assert gauss_rank(F, v[list(rows)]) == k
+
+
+class TestSolve:
+    def test_recovers_poly(self, rng):
+        p = Poly(F, rng.integers(0, F.q, size=6))
+        xs = F.distinct_points(6)
+        got = vandermonde_solve(F, xs, p(xs))
+        assert got == p
+
+    def test_constant(self):
+        got = vandermonde_solve(F, np.array([5]), np.array([42]))
+        assert got == Poly(F, [42])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            vandermonde_solve(F, np.array([1, 2]), np.array([1]))

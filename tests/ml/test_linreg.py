@@ -1,0 +1,77 @@
+"""Tests for distributed linear regression."""
+
+import numpy as np
+import pytest
+
+from repro.coding import SchemeParams
+from repro.core import AVCCMaster, UncodedMaster
+from repro.ff import PrimeField
+from repro.ml import (
+    DistributedLinearRegressionTrainer,
+    LinRegConfig,
+    make_linreg_dataset,
+)
+from repro.runtime import ConstantAttack, Honest, SimCluster, SimWorker, make_profiles
+
+F = PrimeField(2**25 - 39)
+
+
+def make_cluster(n=12, behaviors=None, seed=2):
+    behaviors = behaviors or {}
+    workers = [
+        SimWorker(i, profile=make_profiles(n)[i], behavior=behaviors.get(i, Honest()))
+        for i in range(n)
+    ]
+    return SimCluster(F, workers, rng=np.random.default_rng(seed))
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_linreg_dataset(m=240, d=24, rng=np.random.default_rng(7))
+
+
+class TestLinReg:
+    def test_loss_decreases(self, dataset):
+        master = AVCCMaster(make_cluster(), SchemeParams(n=12, k=8, s=2, m=1))
+        master.setup(dataset.x_train)
+        cfg = LinRegConfig(iterations=25, learning_rate=0.01)
+        hist = DistributedLinearRegressionTrainer(master, dataset, cfg).train()
+        assert hist.train_loss[-1] < hist.train_loss[0] * 0.5
+
+    def test_matches_uncoded_attack_free(self, dataset):
+        cfg = LinRegConfig(iterations=10, learning_rate=0.01)
+        m1 = AVCCMaster(make_cluster(), SchemeParams(n=12, k=8, s=2, m=1))
+        m1.setup(dataset.x_train)
+        t1 = DistributedLinearRegressionTrainer(m1, dataset, cfg)
+        t1.train()
+
+        m2 = UncodedMaster(make_cluster(), k=8)
+        m2.setup(dataset.x_train)
+        t2 = DistributedLinearRegressionTrainer(m2, dataset, cfg)
+        t2.train()
+
+        np.testing.assert_array_equal(t1.final_weights, t2.final_weights)
+
+    def test_avcc_immune_to_byzantine(self, dataset):
+        cfg = LinRegConfig(iterations=10, learning_rate=0.01)
+        clean = AVCCMaster(make_cluster(), SchemeParams(n=12, k=8, s=2, m=1))
+        clean.setup(dataset.x_train)
+        tc = DistributedLinearRegressionTrainer(clean, dataset, cfg)
+        tc.train()
+
+        attacked = AVCCMaster(
+            make_cluster(behaviors={4: ConstantAttack(value=9)}),
+            SchemeParams(n=12, k=8, s=2, m=1),
+        )
+        attacked.setup(dataset.x_train)
+        ta = DistributedLinearRegressionTrainer(attacked, dataset, cfg)
+        ta.train()
+
+        np.testing.assert_array_equal(tc.final_weights, ta.final_weights)
+
+    def test_residual_clip_respected(self, dataset):
+        master = AVCCMaster(make_cluster(), SchemeParams(n=12, k=8, s=2, m=1))
+        master.setup(dataset.x_train)
+        cfg = LinRegConfig(iterations=3, learning_rate=0.01, residual_clip=2.0)
+        hist = DistributedLinearRegressionTrainer(master, dataset, cfg).train()
+        assert hist.iterations() == 3  # runs without overflow errors

@@ -1,0 +1,88 @@
+"""Tests for polynomial sigmoid approximation (Sec. VII direction)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import SchemeParams
+from repro.core import AVCCMaster
+from repro.ml import (
+    DistributedLogisticTrainer,
+    LogisticConfig,
+    PolynomialSigmoid,
+    fit_sigmoid_poly,
+    make_gisette_like,
+    sigmoid,
+)
+from repro.ml.polyapprox import _chebyshev_nodes
+
+
+class TestFit:
+    def test_degree3_error_bound(self):
+        """The CodedPrivateML-style degree-3 fit stays within ~0.12."""
+        assert PolynomialSigmoid(3).max_error() < 0.12
+
+    def test_error_decreases_with_degree(self):
+        errs = [PolynomialSigmoid(d).max_error() for d in (1, 3, 5, 7)]
+        assert all(a > b for a, b in zip(errs, errs[1:]))
+
+    def test_midpoint_preserved(self):
+        """sigmoid(0) = 1/2 must be approximated closely (the fit is
+        near-odd around the center)."""
+        ps = PolynomialSigmoid(5)
+        assert ps(np.array([0.0]))[0] == pytest.approx(0.5, abs=0.02)
+
+    def test_output_range_clipped(self):
+        ps = PolynomialSigmoid(3)
+        z = np.linspace(-50, 50, 101)  # far outside the fit interval
+        out = ps(z)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_monotone_on_core_interval(self):
+        """Monotone where the decision boundary lives; least-squares
+        fits legitimately ripple near the interval edges."""
+        ps = PolynomialSigmoid(5)
+        z = np.linspace(-4, 4, 201)
+        assert np.all(np.diff(ps(z)) >= -1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_sigmoid_poly(0)
+        with pytest.raises(ValueError):
+            fit_sigmoid_poly(3, interval=(2.0, -2.0))
+        with pytest.raises(ValueError):
+            fit_sigmoid_poly(5, n_nodes=3)
+
+    def test_chebyshev_nodes_inside_interval(self):
+        nodes = _chebyshev_nodes(32, -3.0, 5.0)
+        assert nodes.min() > -3.0 and nodes.max() < 5.0
+
+    @given(deg=st.integers(1, 7), half=st.floats(2.0, 12.0))
+    @settings(max_examples=30, deadline=None)
+    def test_property_fit_beats_constant(self, deg, half):
+        """Any fit must beat the trivial constant-1/2 approximation."""
+        ps = PolynomialSigmoid(deg, interval=(-half, half))
+        z = np.linspace(-half, half, 501)
+        const_err = float(np.max(np.abs(0.5 - sigmoid(z))))
+        assert ps.max_error() < const_err
+
+
+class TestTrainingWithPolynomialActivation:
+    def test_converges_close_to_true_sigmoid(self):
+        """Training with the degree-5 polynomial activation must land
+        within a few accuracy points of the exact-sigmoid run — the
+        paper's 'approximation comes at the cost of accuracy loss'."""
+        from tests.ml.test_logistic import make_cluster
+
+        ds = make_gisette_like(m=320, d=60, class_lift=0.9,
+                               rng=np.random.default_rng(9))
+        cfg = LogisticConfig(iterations=15, learning_rate=0.3, l_w=8, l_e=8)
+
+        accs = {}
+        for name, act in (("exact", None), ("poly", PolynomialSigmoid(5))):
+            master = AVCCMaster(make_cluster(), SchemeParams(n=12, k=9, s=2, m=1))
+            master.setup(ds.x_train)
+            hist = DistributedLogisticTrainer(master, ds, cfg, activation=act).train()
+            accs[name] = hist.plateau_accuracy()
+        assert accs["poly"] >= accs["exact"] - 0.05

@@ -1,0 +1,90 @@
+"""Tests for quantization and overflow budgeting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ff import PrimeField
+from repro.ml import OverflowBudget, Quantizer
+
+F = PrimeField(2**25 - 39)
+
+
+class TestQuantizer:
+    def test_roundtrip_within_half_lsb(self, rng):
+        q = Quantizer(F, 5)
+        x = rng.normal(0, 10, size=200)
+        back = q.dequantize(q.quantize(x))
+        assert np.max(np.abs(back - x)) <= q.roundtrip_error_bound() + 1e-12
+
+    def test_integers_exact_at_any_l(self, rng):
+        for l in [0, 3, 8]:
+            q = Quantizer(F, l)
+            x = rng.integers(-100, 100, size=50).astype(np.float64)
+            np.testing.assert_array_equal(q.dequantize(q.quantize(x)), x)
+
+    def test_negative_values_twos_complement(self):
+        q = Quantizer(F, 0)
+        enc = q.quantize(np.array([-1.0]))
+        assert enc[0] == F.q - 1  # -1 == q-1
+        assert q.dequantize(enc)[0] == -1.0
+
+    def test_extra_bits_scaling(self):
+        """A product of two l-bit values carries 2l bits of scale."""
+        q = Quantizer(F, 3)
+        a, b = 1.5, 2.25
+        prod_q = F.mul(q.quantize(np.array([a])), q.quantize(np.array([b])))
+        got = q.dequantize(prod_q, extra_bits=3)  # total scale 2^6
+        assert got[0] == pytest.approx(a * b)
+
+    def test_overflow_rejected(self):
+        small = PrimeField(97)
+        q = Quantizer(small, 4)
+        with pytest.raises(OverflowError, match="exceeds"):
+            q.quantize(np.array([10.0]))  # 160 > 48
+
+    def test_negative_l_rejected(self):
+        with pytest.raises(ValueError):
+            Quantizer(F, -1)
+
+    @given(st.floats(min_value=-1000, max_value=1000), st.integers(0, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip(self, x, l):
+        q = Quantizer(F, l)
+        back = q.dequantize(q.quantize(np.array([x])))[0]
+        assert abs(back - x) <= 0.5 / 2**l + 1e-9
+
+
+class TestOverflowBudget:
+    def test_matvec_max(self):
+        b = OverflowBudget(F)
+        assert b.matvec_max(10, 32, 600) == 10 * 32 * 600
+
+    def test_fits_boundary(self):
+        b = OverflowBudget(F)
+        assert b.fits(b.half)
+        assert not b.fits(b.half + 1)
+
+    def test_check_raises_with_context(self):
+        b = OverflowBudget(F)
+        with pytest.raises(OverflowError, match="round-X"):
+            b.check_matvec(1000, 1000, 1000, what="round-X")
+
+    def test_check_passes_paper_like_config(self):
+        """The experiment configuration must fit: x<=15, l_w=5 weights
+        bounded by 30, d=600."""
+        b = OverflowBudget(F)
+        b.check_matvec(15, 30 * 32, 600)   # z = X w
+        b.check_matvec(15, 64, 1200)       # g = X^T e with l_e=6
+
+    def test_headroom_bits(self):
+        b = OverflowBudget(F)
+        assert b.headroom_bits(b.half) == pytest.approx(0.0)
+        assert b.headroom_bits(b.half / 2) == pytest.approx(1.0)
+        assert b.headroom_bits(0) > 20
+
+    def test_invalid_inputs(self):
+        b = OverflowBudget(F)
+        with pytest.raises(ValueError):
+            b.matvec_max(-1, 1, 1)

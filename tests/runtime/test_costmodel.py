@@ -1,0 +1,49 @@
+"""Tests for the cost model."""
+
+import pytest
+
+from repro.runtime import CostModel
+
+
+class TestCostModel:
+    def test_compute_time_linear_in_macs(self):
+        cm = CostModel(worker_sec_per_mac=2e-9)
+        assert cm.worker_compute_time(10**9) == pytest.approx(2.0)
+        assert cm.worker_compute_time(10**9, speed_factor=8.0) == pytest.approx(16.0)
+
+    def test_master_time(self):
+        cm = CostModel(master_sec_per_mac=1e-9)
+        assert cm.master_compute_time(5 * 10**9) == pytest.approx(5.0)
+
+    def test_transfer_time(self):
+        cm = CostModel(
+            bytes_per_element=8, bandwidth_bytes_per_s=125e6, link_latency_s=1e-3
+        )
+        # 1M elements = 8 MB over 125 MB/s = 64 ms + 1 ms latency
+        assert cm.transfer_time(10**6) == pytest.approx(0.065)
+
+    def test_zero_elements_costs_latency_only(self):
+        cm = CostModel(link_latency_s=2e-3)
+        assert cm.transfer_time(0) == pytest.approx(2e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(worker_sec_per_mac=0)
+        with pytest.raises(ValueError):
+            CostModel(link_latency_s=-1)
+        with pytest.raises(ValueError):
+            CostModel(bytes_per_element=0)
+        cm = CostModel()
+        with pytest.raises(ValueError):
+            cm.worker_compute_time(-1)
+        with pytest.raises(ValueError):
+            cm.worker_compute_time(10, speed_factor=0)
+        with pytest.raises(ValueError):
+            cm.master_compute_time(-5)
+        with pytest.raises(ValueError):
+            cm.transfer_time(-2)
+
+    def test_frozen(self):
+        cm = CostModel()
+        with pytest.raises(Exception):
+            cm.link_latency_s = 5.0

@@ -1,0 +1,62 @@
+"""Tests for the event-queue kernel."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import EventQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(3.0, "c")
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        assert [q.pop() for _ in range(3)] == [(1.0, "a"), (2.0, "b"), (3.0, "c")]
+
+    def test_fifo_on_ties(self):
+        q = EventQueue()
+        for name in ["first", "second", "third"]:
+            q.push(5.0, name)
+        assert [p for _, p in q.drain()] == ["first", "second", "third"]
+
+    def test_inf_sorts_last(self):
+        q = EventQueue()
+        q.push(math.inf, "never")
+        q.push(1e9, "late")
+        assert q.pop()[1] == "late"
+        assert q.pop()[1] == "never"
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(math.nan, "x")
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+        with pytest.raises(IndexError):
+            EventQueue().peek_time()
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(1.0, None)
+        assert q and len(q) == 1
+
+    def test_peek_does_not_consume(self):
+        q = EventQueue()
+        q.push(2.5, "x")
+        assert q.peek_time() == 2.5
+        assert len(q) == 1
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_property_sorted_drain(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, t)
+        out = [t for t, _ in q.drain()]
+        assert out == sorted(times)

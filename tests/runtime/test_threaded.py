@@ -1,0 +1,70 @@
+"""Tests for the real thread-pool backend (kept small: wall-clock)."""
+
+import math
+
+import numpy as np
+
+from repro.ff import PrimeField, ff_matvec
+from repro.runtime import Honest, ReversedValueAttack, SilentFailure, SimWorker, make_profiles
+from repro.runtime.threaded import ThreadedCluster
+
+F = PrimeField(7919)
+
+
+def _workers(n, straggler_factors=None, behaviors=None):
+    profiles = make_profiles(n, straggler_factors or {})
+    behaviors = behaviors or {}
+    return [
+        SimWorker(i, profile=profiles[i], behavior=behaviors.get(i, Honest()))
+        for i in range(n)
+    ]
+
+
+class TestThreadedCluster:
+    def test_round_returns_real_results(self, rng):
+        workers = _workers(3)
+        shares = F.random((3, 4, 5), rng)
+        for w, s in zip(workers, shares):
+            w.store(X=s)
+        v = F.random(5, rng)
+        with ThreadedCluster(F, workers, straggle_scale=0.0) as cluster:
+            arrivals = cluster.run_round(lambda p: ff_matvec(F, p["X"], v))
+        assert len(arrivals) == 3
+        for a in arrivals:
+            np.testing.assert_array_equal(a.value, ff_matvec(F, shares[a.worker_id], v))
+
+    def test_straggler_arrives_last(self, rng):
+        workers = _workers(3, straggler_factors={1: 4.0})
+        for w in workers:
+            w.store(X=F.random((2, 3), rng))
+        with ThreadedCluster(F, workers, straggle_scale=0.05) as cluster:
+            arrivals = cluster.run_round(lambda p: ff_matvec(F, p["X"], F.asarray([1, 2, 3])))
+        assert arrivals[-1].worker_id == 1
+        assert arrivals[-1].t_arrival > arrivals[0].t_arrival
+
+    def test_byzantine_and_silent(self, rng):
+        workers = _workers(
+            3, behaviors={0: ReversedValueAttack(), 2: SilentFailure()}
+        )
+        shares = F.random((3, 2, 3), rng)
+        for w, s in zip(workers, shares):
+            w.store(X=s)
+        v = F.asarray([1, 1, 1])
+        with ThreadedCluster(F, workers, straggle_scale=0.0) as cluster:
+            arrivals = cluster.run_round(lambda p: ff_matvec(F, p["X"], v))
+        by_id = {a.worker_id: a for a in arrivals}
+        assert by_id[2].value is None and math.isinf(by_id[2].t_arrival)
+        np.testing.assert_array_equal(
+            by_id[0].value, F.neg(ff_matvec(F, shares[0], v))
+        )
+        assert by_id[0].truly_byzantine
+
+    def test_participants_subset(self, rng):
+        workers = _workers(4)
+        for w in workers:
+            w.store(X=F.random((2, 2), rng))
+        with ThreadedCluster(F, workers, straggle_scale=0.0) as cluster:
+            arrivals = cluster.run_round(
+                lambda p: ff_matvec(F, p["X"], F.asarray([1, 2])), participants=[1, 2]
+            )
+        assert sorted(a.worker_id for a in arrivals) == [1, 2]

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are the public face of the library — a broken example is a
+broken release. The heavyweight training examples are exercised at
+reduced scale through the experiment-harness tests instead; here we run
+the fast ones end to end as subprocesses.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name, *args, timeout=240):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "bit-exact" in out
+        assert "REJECTED (Byzantine)" in out
+        assert "never waited for" in out
+
+    def test_coded_matmul(self):
+        out = _run("coded_matmul.py")
+        assert "recovered bit-exactly" in out
+        assert "rejected (lying):  [4]" in out
+
+    def test_linear_regression(self):
+        out = _run("linear_regression.py")
+        assert "bit-exact" in out
+        assert "avcc" in out and "uncoded" in out
+
+    def test_private_inference(self):
+        out = _run("private_inference.py")
+        assert "bit-identical" in out
+        assert "indistinguishable" in out
+
+    @pytest.mark.slow
+    def test_dynamic_coding(self):
+        out = _run("dynamic_coding.py", timeout=600)
+        assert "re-encode" in out
+
+    @pytest.mark.slow
+    def test_logistic_regression_panel_a(self):
+        out = _run("logistic_regression.py", "a", timeout=600)
+        assert "speedups" in out

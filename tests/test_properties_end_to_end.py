@@ -1,0 +1,161 @@
+"""Cross-cutting hypothesis property tests over the full stack.
+
+These generate random fault patterns *within* the deployed scheme's
+tolerance and assert the system-level invariants the paper's Theorem 1
+promises: exact recovery (S-resiliency + M-security) regardless of
+which workers misbehave, for random data, placements and fleet shapes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AVCCMaster,
+    ConstantAttack,
+    Honest,
+    PrimeField,
+    RandomAttack,
+    ReversedValueAttack,
+    SchemeParams,
+    SilentFailure,
+    SimCluster,
+    SimWorker,
+    make_profiles,
+)
+from repro.ff import ff_matvec
+
+F = PrimeField(2**25 - 39)
+
+ATTACKS = [ReversedValueAttack, lambda: ConstantAttack(value=123456), RandomAttack]
+
+
+def _cluster(n, straggler_ids, byz_ids, silent_ids, attack_idx, seed):
+    profiles = make_profiles(n, {w: 10.0 + 3 * i for i, w in enumerate(straggler_ids)})
+    behaviors = {}
+    for w in byz_ids:
+        behaviors[w] = ATTACKS[attack_idx % len(ATTACKS)]()
+    for w in silent_ids:
+        behaviors[w] = SilentFailure()
+    workers = [
+        SimWorker(i, profile=profiles[i], behavior=behaviors.get(i, Honest()))
+        for i in range(n)
+    ]
+    return SimCluster(F, workers, rng=np.random.default_rng(seed))
+
+
+class TestTheorem1:
+    @given(
+        k=st.integers(2, 6),
+        s=st.integers(0, 2),
+        m=st.integers(0, 2),
+        extra=st.integers(0, 2),
+        attack_idx=st.integers(0, 2),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_avcc_exact_under_any_tolerated_fault_pattern(
+        self, k, s, m, extra, attack_idx, seed
+    ):
+        """Random (K, S, M) scheme, random fault placement at full
+        budget: the forward round must equal X @ w exactly."""
+        rng = np.random.default_rng(seed)
+        n = (k - 1) + s + m + 1 + extra
+        scheme = SchemeParams(n=n, k=k, s=s, m=m)
+        assert scheme.avcc_feasible
+
+        ids = rng.permutation(n)
+        straggler_ids = ids[:s].tolist()
+        byz_ids = ids[s : s + m].tolist()
+        cluster = _cluster(n, straggler_ids, byz_ids, [], attack_idx, seed)
+
+        x = F.random((k * 3, 5), rng)
+        w = F.random(5, rng)
+        master = AVCCMaster(cluster, scheme, rng=rng)
+        master.setup(x)
+        out = master.forward_round(w)
+        np.testing.assert_array_equal(out.vector, ff_matvec(F, x, w))
+        # every Byzantine worker that responded before the threshold was
+        # reached must have been caught
+        assert set(out.record.rejected_workers) <= set(byz_ids)
+
+    @given(
+        k=st.integers(2, 5),
+        budget=st.integers(1, 3),
+        split=st.integers(0, 3),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_silent_workers_spend_straggler_budget(self, k, budget, split, seed):
+        """Crash-stop workers consume S (not M): with S+M = budget
+        faults of which ``split`` are silent, recovery still works when
+        silent <= S + slack."""
+        rng = np.random.default_rng(seed)
+        n_silent = min(split, budget)
+        n = (k - 1) + budget + 1 + 1  # one spare
+        scheme = SchemeParams(n=n, k=k, s=min(budget, n_silent + 1), m=budget - min(budget, n_silent + 1))
+        if not scheme.avcc_feasible or scheme.s + scheme.m > budget:
+            scheme = SchemeParams(n=n, k=k, s=budget, m=0)
+        ids = rng.permutation(n)
+        silent_ids = ids[:n_silent].tolist()
+        cluster = _cluster(n, [], [], silent_ids, 0, seed)
+        x = F.random((k * 2, 4), rng)
+        w = F.random(4, rng)
+        master = AVCCMaster(cluster, scheme, rng=rng)
+        master.setup(x)
+        out = master.forward_round(w)
+        np.testing.assert_array_equal(out.vector, ff_matvec(F, x, w))
+
+    @given(
+        k=st.integers(2, 5),
+        t=st.integers(1, 2),
+        m=st.integers(0, 1),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_privacy_padding_never_changes_results(self, k, t, m, seed):
+        """T > 0 must be output-invariant: same decoded vector with and
+        without padding (only the shares differ)."""
+        rng = np.random.default_rng(seed)
+        x = F.random((k * 2, 4), rng)
+        w = F.random(4, rng)
+        want = ff_matvec(F, x, w)
+        for t_run in (0, t):
+            n = (k + t_run - 1) + m + 1 + 1
+            cluster = _cluster(n, [], [], [], 0, seed)
+            master = AVCCMaster(
+                cluster,
+                SchemeParams(n=n, k=k, s=1, m=m, t=t_run),
+                rng=np.random.default_rng(seed),
+            )
+            master.setup(x)
+            np.testing.assert_array_equal(master.forward_round(w).vector, want)
+
+
+class TestTimingMonotonicity:
+    @given(factor=st.floats(1.0, 20.0), seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_uniform_slowdown_scales_compute_wait(self, factor, seed):
+        """Slowing every worker by c scales the compute wait by ~c —
+        the simulator's clock is linear in the latency model."""
+        rng = np.random.default_rng(seed)
+        x = F.random((8, 5), rng)
+        w = F.random(5, rng)
+
+        waits = []
+        for f in (1.0, factor):
+            cluster = _cluster(4, [], [], [], 0, seed)
+            for worker in cluster.workers:
+                object.__setattr__(worker.profile, "factor", f) if hasattr(
+                    worker.profile, "factor"
+                ) else None
+            from repro.runtime import DeterministicLatency
+
+            for worker in cluster.workers:
+                worker.profile = DeterministicLatency(f)
+            master = AVCCMaster(cluster, SchemeParams(n=4, k=2, s=1, m=1), rng=rng)
+            master.setup(x)
+            out = master.forward_round(w)
+            waits.append(out.record.compute_wait)
+        assert waits[1] == pytest.approx(waits[0] * factor, rel=1e-9)

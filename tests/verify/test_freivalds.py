@@ -1,0 +1,173 @@
+"""Tests for Freivalds matvec verification: completeness, soundness,
+attack detection, and cost accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ff import PrimeField, ff_matvec
+from repro.verify import FreivaldsVerifier, soundness_error
+
+SMALL = PrimeField(97)
+F = PrimeField(2**25 - 39)
+
+
+def _honest(field, share, w):
+    return ff_matvec(field, share, w)
+
+
+class TestCompleteness:
+    def test_honest_always_passes(self, rng):
+        v = FreivaldsVerifier(F)
+        share = F.random((8, 12), rng)
+        key = v.keygen_single(share, rng)
+        for _ in range(50):
+            w = F.random(12, rng)
+            assert v.check(key, w, _honest(F, share, w))
+
+    def test_zero_vectors(self, rng):
+        v = FreivaldsVerifier(F)
+        share = F.random((4, 6), rng)
+        key = v.keygen_single(share, rng)
+        w = F.zeros(6)
+        assert v.check(key, w, _honest(F, share, w))
+
+    def test_multiworker_keygen(self, rng):
+        v = FreivaldsVerifier(F)
+        shares = F.random((5, 4, 6), rng)
+        keys = v.keygen(shares, rng)
+        assert len(keys) == 5
+        w = F.random(6, rng)
+        for key, share in zip(keys, shares):
+            assert v.check(key, w, _honest(F, share, w))
+
+    @given(
+        b=st.integers(1, 10),
+        d=st.integers(1, 10),
+        probes=st.integers(1, 3),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_completeness(self, b, d, probes, seed):
+        r = np.random.default_rng(seed)
+        v = FreivaldsVerifier(SMALL, probes=probes)
+        share = SMALL.random((b, d), r)
+        key = v.keygen_single(share, r)
+        w = SMALL.random(d, r)
+        assert v.check(key, w, _honest(SMALL, share, w))
+
+
+class TestSoundness:
+    def test_single_entry_forgery_caught_whp_large_field(self, rng):
+        """In the 25-bit field a forgery slipping through is a ~3e-8
+        event; 200 attempts must all be caught."""
+        v = FreivaldsVerifier(F)
+        share = F.random((6, 9), rng)
+        key = v.keygen_single(share, rng)
+        w = F.random(9, rng)
+        z = _honest(F, share, w)
+        for _ in range(200):
+            forged = z.copy()
+            i = rng.integers(0, 6)
+            forged[i] = (forged[i] + rng.integers(1, F.q)) % F.q
+            assert not v.check(key, w, forged)
+
+    def test_statistical_soundness_small_field(self, rng):
+        """F_97, 1 probe: forged acceptance rate must be ~1/97, far
+        below 5% and above 0 occasionally — check it stays under 3/97
+        over many trials (binomial tail is negligible)."""
+        v = FreivaldsVerifier(SMALL, probes=1)
+        share = SMALL.random((5, 5), rng)
+        w = SMALL.random(5, rng)
+        z = _honest(SMALL, share, w)
+        trials, passed = 4000, 0
+        for _ in range(trials):
+            key = v.keygen_single(share, rng)  # fresh r each trial
+            forged = (z + SMALL.random(5, rng)) % SMALL.q
+            if np.array_equal(forged, z):
+                continue
+            if v.check(key, w, forged):
+                passed += 1
+        assert passed / trials < 3 / 97
+
+    def test_probe_amplification(self, rng):
+        """With 2 probes in F_97 the pass rate drops to ~1e-4: expect
+        zero passes in 3000 trials (P(any) < 0.3)."""
+        v = FreivaldsVerifier(SMALL, probes=3)
+        share = SMALL.random((5, 5), rng)
+        w = SMALL.random(5, rng)
+        z = _honest(SMALL, share, w)
+        for _ in range(3000):
+            key = v.keygen_single(share, rng)
+            forged = z.copy()
+            forged[0] = (forged[0] + 1) % SMALL.q
+            assert not v.check(key, w, forged)
+
+    def test_soundness_error_bound(self):
+        assert soundness_error(97) == pytest.approx(1 / 97)
+        assert soundness_error(97, 2) == pytest.approx(1 / 97**2)
+        assert soundness_error(2**25 - 39) < 3e-8
+        with pytest.raises(ValueError):
+            soundness_error(97, 0)
+
+
+class TestPaperAttacks:
+    """The two Byzantine models of Sec. V must be detected."""
+
+    def test_reverse_value_attack_detected(self, rng):
+        """z -> -c z with c = 1 (the paper's setting)."""
+        v = FreivaldsVerifier(F)
+        share = F.random((6, 8), rng)
+        key = v.keygen_single(share, rng)
+        w = F.random(8, rng)
+        z = _honest(F, share, w)
+        attacked = F.neg(z)
+        if np.array_equal(attacked, z):  # only if z == 0
+            pytest.skip("degenerate zero result")
+        assert not v.check(key, w, attacked)
+
+    def test_constant_attack_detected(self, rng):
+        v = FreivaldsVerifier(F)
+        share = F.random((6, 8), rng)
+        key = v.keygen_single(share, rng)
+        w = F.random(8, rng)
+        z = _honest(F, share, w)
+        attacked = np.full_like(z, 12345)
+        if np.array_equal(attacked, z):
+            pytest.skip("degenerate constant result")
+        assert not v.check(key, w, attacked)
+
+
+class TestValidationAndCosts:
+    def test_shape_checks(self, rng):
+        v = FreivaldsVerifier(F)
+        key = v.keygen_single(F.random((4, 6), rng), rng)
+        with pytest.raises(ValueError, match="claimed"):
+            v.check(key, F.random(6, rng), F.random(5, rng))
+        with pytest.raises(ValueError, match="operand"):
+            v.check(key, F.random(7, rng), F.random(4, rng))
+
+    def test_keygen_shape_checks(self, rng):
+        v = FreivaldsVerifier(F)
+        with pytest.raises(ValueError):
+            v.keygen_single(F.random(4, rng), rng)
+        with pytest.raises(ValueError):
+            v.keygen(F.random((4, 6), rng), rng)
+
+    def test_probes_validation(self):
+        with pytest.raises(ValueError):
+            FreivaldsVerifier(F, probes=0)
+
+    def test_cost_accounting_matches_paper(self, rng):
+        """Check cost O(m+d) must be far below compute cost O(m d / K):
+        the asymmetry that makes verification worthwhile (Sec. II-B)."""
+        v = FreivaldsVerifier(F)
+        b, d = 667, 5000  # GISETTE block: m/K = 6000/9 rows
+        key_cost = v.keygen_cost_ops(b, d)
+        share = F.random((10, 20), rng)
+        key = v.keygen_single(share, rng)
+        assert v.check_cost_ops(key) == 10 + 20
+        assert key_cost == b * d  # one-time
+        # per-check cost (b + d) << worker compute (b * d)
+        assert (b + d) * 100 < b * d

@@ -1,0 +1,101 @@
+"""Tests for generalized matrix-polynomial verification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ff import PrimeField
+from repro.verify import MatrixPolynomialVerifier
+
+F = PrimeField(2**25 - 39)
+SMALL = PrimeField(97)
+
+
+class TestReferenceEval:
+    def test_identity_poly(self, rng):
+        v = MatrixPolynomialVerifier(F)
+        a = F.random((4, 4), rng)
+        np.testing.assert_array_equal(v.reference_eval(a, [0, 1]), a)
+
+    def test_constant_poly(self, rng):
+        v = MatrixPolynomialVerifier(F)
+        a = F.random((4, 4), rng)
+        np.testing.assert_array_equal(
+            v.reference_eval(a, [5]), 5 * np.eye(4, dtype=np.int64)
+        )
+
+    def test_square_poly(self, rng):
+        from repro.ff import ff_matmul
+
+        v = MatrixPolynomialVerifier(F)
+        a = F.random((5, 5), rng)
+        want = (ff_matmul(F, a, a) + 3 * a + 2 * np.eye(5, dtype=np.int64)) % F.q
+        np.testing.assert_array_equal(v.reference_eval(a, [2, 3, 1]), want)
+
+    def test_rejects_non_square(self, rng):
+        v = MatrixPolynomialVerifier(F)
+        with pytest.raises(ValueError, match="square"):
+            v.reference_eval(F.random((3, 4), rng), [1])
+
+
+class TestCheck:
+    def test_honest_passes(self, rng):
+        v = MatrixPolynomialVerifier(F)
+        a = F.random((6, 6), rng)
+        coeffs = [1, 4, 2, 7]  # degree 3
+        y = v.reference_eval(a, coeffs)
+        for _ in range(20):
+            assert v.check(a, coeffs, y, rng)
+
+    def test_forgery_rejected(self, rng):
+        v = MatrixPolynomialVerifier(F)
+        a = F.random((6, 6), rng)
+        coeffs = [1, 4, 2]
+        y = v.reference_eval(a, coeffs)
+        y_bad = y.copy()
+        y_bad[3, 2] = (y_bad[3, 2] + 1) % F.q
+        for _ in range(20):
+            assert not v.check(a, coeffs, y_bad, rng)
+
+    def test_small_field_soundness_rate(self, rng):
+        v = MatrixPolynomialVerifier(SMALL, probes=1)
+        a = SMALL.random((4, 4), rng)
+        coeffs = [3, 1, 2]
+        y = v.reference_eval(a, coeffs)
+        passed = 0
+        trials = 3000
+        for _ in range(trials):
+            y_bad = (y + SMALL.random((4, 4), rng)) % SMALL.q
+            if np.array_equal(y_bad, y):
+                continue
+            if v.check(a, coeffs, y_bad, rng):
+                passed += 1
+        assert passed / trials < 3 / 97
+
+    def test_shape_mismatch(self, rng):
+        v = MatrixPolynomialVerifier(F)
+        a = F.random((4, 4), rng)
+        with pytest.raises(ValueError, match="claimed"):
+            v.check(a, [1, 1], F.random((3, 3), rng), rng)
+
+    def test_probes_validation(self):
+        with pytest.raises(ValueError):
+            MatrixPolynomialVerifier(F, probes=0)
+
+    @given(b=st.integers(1, 5), deg=st.integers(1, 4), seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_property_completeness(self, b, deg, seed):
+        r = np.random.default_rng(seed)
+        v = MatrixPolynomialVerifier(SMALL, probes=2)
+        a = SMALL.random((b, b), r)
+        coeffs = SMALL.random(deg + 1, r)
+        y = v.reference_eval(a, coeffs)
+        assert v.check(a, coeffs, y, r)
+
+
+class TestCosts:
+    def test_verification_much_cheaper_than_recompute(self):
+        v = MatrixPolynomialVerifier(F)
+        b, deg = 500, 3
+        assert v.check_cost_ops(b, deg) * 50 < v.recompute_cost_ops(b, deg)

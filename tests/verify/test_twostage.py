@@ -1,0 +1,84 @@
+"""Tests for two-stage (gramian) verification."""
+
+import numpy as np
+import pytest
+
+from repro.ff import PrimeField, ff_matvec
+from repro.verify import TwoStageVerifier
+
+F = PrimeField(2**25 - 39)
+SMALL = PrimeField(97)
+
+
+def _honest(field, share, w):
+    z = ff_matvec(field, share, w)
+    g = ff_matvec(field, share.T, z)
+    return z, g
+
+
+class TestTwoStage:
+    def test_honest_passes(self, rng):
+        v = TwoStageVerifier(F)
+        share = F.random((7, 5), rng)
+        key = v.keygen_single(share, rng)
+        w = F.random(5, rng)
+        z, g = _honest(F, share, w)
+        assert v.check(key, w, z, g)
+
+    def test_wrong_intermediate_rejected(self, rng):
+        v = TwoStageVerifier(F)
+        share = F.random((7, 5), rng)
+        key = v.keygen_single(share, rng)
+        w = F.random(5, rng)
+        z, g = _honest(F, share, w)
+        z_bad = (z + 1) % F.q
+        assert not v.check(key, w, z_bad, g)
+
+    def test_wrong_result_with_correct_intermediate_rejected(self, rng):
+        """The subtle case: a Byzantine worker does stage 1 honestly and
+        corrupts only the gramian — stage 2 must catch it."""
+        v = TwoStageVerifier(F)
+        share = F.random((7, 5), rng)
+        key = v.keygen_single(share, rng)
+        w = F.random(5, rng)
+        z, g = _honest(F, share, w)
+        g_bad = g.copy()
+        g_bad[2] = (g_bad[2] + 7) % F.q
+        assert not v.check(key, w, z, g_bad)
+
+    def test_consistent_forgery_rejected(self, rng):
+        """Worker fabricates z' and a g' consistent with z' — stage 1
+        still rejects because z' != A w."""
+        v = TwoStageVerifier(F)
+        share = F.random((7, 5), rng)
+        key = v.keygen_single(share, rng)
+        w = F.random(5, rng)
+        z_fake = F.random(7, rng)
+        g_fake = ff_matvec(F, share.T, z_fake)  # internally consistent
+        z_true, _ = _honest(F, share, w)
+        if np.array_equal(z_fake, z_true):
+            pytest.skip("collision")
+        assert not v.check(key, w, z_fake, g_fake)
+
+    def test_keygen_batch(self, rng):
+        v = TwoStageVerifier(F)
+        shares = F.random((4, 6, 3), rng)
+        keys = v.keygen(shares, rng)
+        assert len(keys) == 4
+        w = F.random(3, rng)
+        for key, share in zip(keys, shares):
+            z, g = _honest(F, share, w)
+            assert v.check(key, w, z, g)
+
+    def test_shape_validation(self, rng):
+        v = TwoStageVerifier(F)
+        with pytest.raises(ValueError):
+            v.keygen_single(F.random(5, rng), rng)
+        with pytest.raises(ValueError):
+            v.keygen(F.random((6, 3), rng), rng)
+
+    def test_cost(self, rng):
+        v = TwoStageVerifier(F)
+        key = v.keygen_single(F.random((10, 4), rng), rng)
+        # (b + d) + (d + b) = 2(b+d)
+        assert v.check_cost_ops(key) == 2 * (10 + 4)
