@@ -1,0 +1,111 @@
+"""Execution-backend comparison at the paper's calibrated scale.
+
+Runs the identical AVCC workload — setup plus a block of
+forward/backward rounds at the experiments' default (m=1200, d=600,
+N=12, K=9) scale — on all three ``Backend`` implementations and
+reports real wall-clock for each:
+
+* ``sim`` measures protocol + master arithmetic only (worker time is
+  virtual), so it is the floor: the master-side cost of the protocol.
+* ``threaded`` adds real concurrent worker execution; NumPy kernels
+  release the GIL, so this approximates one beefy multi-core node.
+* ``process`` pays per-round IPC (shared-memory broadcast + pickled
+  results) to escape the GIL entirely — the trade the paper's testbed
+  makes across its real network.
+
+Shape assertions only check correctness (every backend must decode
+bit-exactly); relative wall-clock between the real backends is
+machine-dependent and intentionally not asserted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coding import SchemeParams
+from repro.core import AVCCMaster
+from repro.ff import ff_matvec
+from repro.runtime import (
+    Honest,
+    ProcessCluster,
+    ReversedValueAttack,
+    SimCluster,
+    SimWorker,
+    ThreadedCluster,
+    make_profiles,
+)
+
+N, K, S, M = 12, 9, 1, 2
+ROUNDS = 4
+
+
+def _fleet(n):
+    profiles = make_profiles(n, {0: 3.0})
+    behaviors = {7: ReversedValueAttack()}
+    return [
+        SimWorker(i, profile=profiles[i], behavior=behaviors.get(i, Honest()))
+        for i in range(n)
+    ]
+
+
+def _make_backend(kind, field):
+    if kind == "sim":
+        return SimCluster(field, _fleet(N), rng=np.random.default_rng(1))
+    if kind == "threaded":
+        return ThreadedCluster(field, _fleet(N), straggle_scale=0.01)
+    return ProcessCluster(field, _fleet(N), straggle_scale=0.01)
+
+
+@pytest.mark.parametrize("kind", ["sim", "threaded", "process"])
+def test_avcc_rounds_per_backend(benchmark, cfg, field, rng, kind):
+    x = field.random((cfg.m, cfg.d), rng)
+    w = field.random(cfg.d, rng)
+    e = field.random(cfg.m, rng)
+    z = ff_matvec(field, x, w)
+    g = ff_matvec(field, x.T.copy(), e)
+
+    def run():
+        with _make_backend(kind, field) as backend:
+            master = AVCCMaster(
+                backend,
+                SchemeParams(n=N, k=K, s=S, m=M),
+                rng=np.random.default_rng(2),
+            )
+            master.setup(x)
+            outs = []
+            for _ in range(ROUNDS):
+                outs.append(master.forward_round(w).vector)
+                outs.append(master.backward_round(e).vector)
+                master.end_iteration()
+            return outs
+
+    outs = benchmark.pedantic(run, rounds=1, iterations=1)
+    for i, vec in enumerate(outs):
+        np.testing.assert_array_equal(vec, z if i % 2 == 0 else g)
+
+
+@pytest.mark.parametrize("kind", ["threaded", "process"])
+def test_early_stopping_saves_straggler_tail(benchmark, field, rng, kind):
+    """With one heavy straggler and enough slack, a real-backend round
+    must cost ~(fast worker time), not ~(straggler sleep)."""
+    sleep = 0.75
+    factor = 6.0
+    scale = sleep / (factor - 1.0)
+    x = field.random((600, 300), rng)
+    w = field.random(300, rng)
+
+    def run():
+        workers = [
+            SimWorker(i, profile=make_profiles(N, {0: factor})[i], behavior=Honest())
+            for i in range(N)
+        ]
+        cls = ThreadedCluster if kind == "threaded" else ProcessCluster
+        with cls(field, workers, straggle_scale=scale) as backend:
+            master = AVCCMaster(
+                backend, SchemeParams(n=N, k=K, s=2, m=1), rng=np.random.default_rng(3)
+            )
+            master.setup(x)
+            return master.forward_round(w)
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    np.testing.assert_array_equal(out.vector, ff_matvec(field, x, w))
+    assert 0 not in out.record.used_workers

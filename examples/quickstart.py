@@ -1,17 +1,25 @@
 """Quickstart: coded matrix-vector multiplication with stragglers and a
-Byzantine worker.
+Byzantine worker, on your choice of execution backend.
 
 Walks through the paper's core pipeline in five steps on a toy matrix:
 
 1. encode ``X`` with an (N=6, K=3) MDS/Lagrange code (Fig. 1 scaled up);
 2. generate per-worker Freivalds verification keys (Eqs. 6-7);
-3. run one distributed round on the simulated cluster with one heavy
+3. run one distributed round on an execution backend with one heavy
    straggler and one Byzantine worker;
-4. verify results as they arrive, rejecting the forgery (Eqs. 8-10);
+4. verify results as they arrive, rejecting the forgery (Eqs. 8-10),
+   and cancel the round the moment K results pass — the straggler is
+   never waited for;
 5. decode ``X @ w`` exactly from the fastest K verified results.
 
-Run:  python examples/quickstart.py
+Every backend implements the same ``Backend`` protocol, so step 3 is
+the only line that changes between a deterministic simulation and real
+threads or processes.
+
+Run:  python examples/quickstart.py [sim|threaded|process]
 """
+
+import sys
 
 import numpy as np
 
@@ -19,18 +27,32 @@ from repro.coding import LagrangeCode, partition_rows, unpartition_rows
 from repro.ff import PrimeField, ff_matvec
 from repro.runtime import (
     Honest,
+    ProcessCluster,
     ReversedValueAttack,
+    RoundJob,
     SimCluster,
     SimWorker,
+    ThreadedCluster,
     make_profiles,
 )
 from repro.verify import FreivaldsVerifier
 
 
+def make_backend(kind, field, workers, rng):
+    if kind == "sim":
+        return SimCluster(field, workers, rng=rng)
+    if kind == "threaded":
+        return ThreadedCluster(field, workers, straggle_scale=0.05)
+    if kind == "process":
+        return ProcessCluster(field, workers, straggle_scale=0.05)
+    raise SystemExit(f"unknown backend {kind!r}; pick sim, threaded or process")
+
+
 def main():
+    kind = sys.argv[1] if len(sys.argv) > 1 else "sim"
     rng = np.random.default_rng(0)
     field = PrimeField()  # the paper's q = 2**25 - 39
-    print(f"field: F_q with q = {field.q}")
+    print(f"backend: {kind}; field: F_q with q = {field.q}")
 
     # ---- the computation we want: z = X @ w over F_q ----------------
     m, d, n, k = 12, 8, 6, 3
@@ -50,32 +72,28 @@ def main():
     print(f"generated {len(keys)} private Freivalds keys "
           f"(soundness error <= 1/q ~ {1 / field.q:.1e})")
 
-    # ---- 3) a cluster with one straggler + one Byzantine -------------
+    # ---- 3) a fleet with one straggler + one Byzantine ----------------
     profiles = make_profiles(n, straggler_factors={1: 10.0})
     behaviors = {2: ReversedValueAttack()}   # sends -z instead of z
     workers = [
         SimWorker(i, profile=profiles[i], behavior=behaviors.get(i, Honest()))
         for i in range(n)
     ]
-    cluster = SimCluster(field, workers, rng=rng)
-    cluster.distribute("share", shares)
+    with make_backend(kind, field, workers, rng) as backend:
+        backend.distribute("share", shares)
+        handle = backend.dispatch_round(RoundJob(payload_key="share", operand=w))
 
-    round_result = cluster.run_round(
-        compute=lambda payload: ff_matvec(field, payload["share"], w),
-        macs=lambda payload: payload["share"].size,
-        broadcast_elements=d,
-    )
-
-    # ---- 4) verify in arrival order -----------------------------------
-    verified, rejected = [], []
-    for arrival in round_result.arrivals:
-        ok = verifier.check(keys[arrival.worker_id], w, arrival.value)
-        status = "ok" if ok else "REJECTED (Byzantine)"
-        print(f"  worker {arrival.worker_id} arrived at "
-              f"{arrival.t_arrival * 1e3:7.2f} ms -> {status}")
-        (verified if ok else rejected).append(arrival)
-        if len(verified) == k:
-            break                              # no need to wait for more
+        # ---- 4) verify in arrival order; stop at K verified ----------
+        verified, rejected = [], []
+        for arrival in handle:
+            ok = verifier.check(keys[arrival.worker_id], w, arrival.value)
+            status = "ok" if ok else "REJECTED (Byzantine)"
+            print(f"  worker {arrival.worker_id} arrived at "
+                  f"{arrival.t_arrival * 1e3:7.2f} ms -> {status}")
+            (verified if ok else rejected).append(arrival)
+            if len(verified) == k:
+                handle.cancel()              # no need to wait for more
+                break
 
     # ---- 5) decode from the fastest K verified -------------------------
     idx = np.array([a.worker_id for a in verified])
@@ -85,7 +103,7 @@ def main():
     assert np.array_equal(decoded, expected)
     print(f"\ndecoded X@w from workers {idx.tolist()} — bit-exact.")
     print(f"rejected Byzantine worker(s): {[a.worker_id for a in rejected]}")
-    print(f"straggler (worker 1) was never waited for.")
+    print("straggler (worker 1) was cancelled, never waited for.")
 
 
 if __name__ == "__main__":

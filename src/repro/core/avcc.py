@@ -7,8 +7,9 @@ Per round, the master:
    moment it lands (serialized on the master core — verification of a
    result can start only when the previous check finished);
 3. stops as soon as the recovery threshold of *verified* results is
-   reached — Byzantine workers are rejected and "effectively treated
-   as stragglers" (Sec. IV-A step 4);
+   reached — the round is cancelled so no backend waits on unneeded
+   stragglers, and Byzantine workers are rejected and "effectively
+   treated as stragglers" (Sec. IV-A step 4);
 4. decodes by Lagrange interpolation over the verified subset.
 
 ``end_iteration`` runs the dynamic-coding policy: detected Byzantine
@@ -16,6 +17,9 @@ workers are dropped from the pool (their redundancy is spent), and if
 the straggler population has eaten the code's slack the master switches
 to a pre-encoded smaller configuration, paying only the share re-ship
 time (Fig. 5's one-time bump).
+
+The master is backend-agnostic: it runs unmodified on the simulator,
+the thread pool, and the process pool.
 """
 
 from __future__ import annotations
@@ -28,7 +32,7 @@ from repro.coding.scheme import SchemeParams
 from repro.core.base import FamilyState, MatvecMasterBase
 from repro.core.dynamic import AdaptivePolicy, EncodingCache
 from repro.core.results import AdaptationOutcome, InsufficientResultsError, RoundOutcome
-from repro.runtime.cluster import RoundResult, SimCluster
+from repro.runtime.backend import Backend, RoundHandle
 from repro.verify.freivalds import FreivaldsVerifier, MatvecKey
 
 __all__ = ["AVCCMaster"]
@@ -40,7 +44,7 @@ class AVCCMaster(MatvecMasterBase):
     Parameters
     ----------
     cluster:
-        The worker fleet (``cluster.n`` must equal ``scheme.n``).
+        Any execution backend (``backend.n`` must equal ``scheme.n``).
     scheme:
         Deployment parameters; validated against Eq. (2).
     probes:
@@ -53,7 +57,7 @@ class AVCCMaster(MatvecMasterBase):
 
     def __init__(
         self,
-        cluster: SimCluster,
+        cluster: Backend,
         scheme: SchemeParams,
         probes: int = 1,
         adaptive: bool = True,
@@ -81,22 +85,22 @@ class AVCCMaster(MatvecMasterBase):
     # ------------------------------------------------------------------
     def setup(self, x_field: np.ndarray) -> float:
         """Encode, distribute and key both families. Returns the
-        simulated seconds spent shipping shares."""
-        t0 = self.cluster.now
+        backend-clock seconds spent shipping shares."""
+        t0 = self.backend.now
         self._cache = EncodingCache(
             self.field, x_field, t=self.scheme.t, probes=self.probes, rng=self.rng
         )
         self._install_config(self.scheme.n, self.scheme.k, self.active)
-        return self.cluster.now - t0
+        return self.backend.now - t0
 
     def _install_config(self, n: int, k: int, participants: list[int]) -> float:
         """Ship config ``(n, k)`` shares to ``participants``; returns
         the transfer time charged to the clock."""
         assert self._cache is not None
         cfg = self._cache.get(n, k)
-        t0 = self.cluster.now
-        self.cluster.distribute("fwd", cfg.fwd_shares, participants=participants)
-        self.cluster.distribute("bwd", cfg.bwd_shares, participants=participants)
+        t0 = self.backend.now
+        self.backend.distribute("fwd", cfg.fwd_shares, participants=participants)
+        self.backend.distribute("bwd", cfg.bwd_shares, participants=participants)
         self._cfg = cfg
         self._code_pos = {wid: slot for slot, wid in enumerate(participants)}
         self._keys = {
@@ -123,7 +127,7 @@ class AVCCMaster(MatvecMasterBase):
                 block_cols=cfg.m_pad,
             ),
         }
-        return self.cluster.now - t0
+        return self.backend.now - t0
 
     # ------------------------------------------------------------------
     @property
@@ -135,13 +139,14 @@ class AVCCMaster(MatvecMasterBase):
             raise RuntimeError("setup() must be called before rounds")
         st = self._family(family)
         operand = st.pad_operand(self.field, operand)
-        rr = self._run_family_round(family, operand)
+        handle = self._run_family_round(family, operand)
         keys = self._keys[family]
         need = self._cfg.code.recovery_threshold()
 
         verified, rejected, verify_time, t_verified = self._collect_verified(
-            rr, keys, operand, need
+            handle, keys, operand, need
         )
+        rr = handle.result()
         if len(verified) < need:
             raise InsufficientResultsError(
                 f"{family} round: only {len(verified)} verified results, need {need}"
@@ -158,7 +163,7 @@ class AVCCMaster(MatvecMasterBase):
 
         t_end = t_verified + decode_time
         self._iter_rejected.update(rejected)
-        self._note_stragglers(rr)
+        self._note_stragglers(rr, used=[a.worker_id for a in verified])
         record = self._mk_record(
             round_name=family,
             rr=rr,
@@ -171,22 +176,21 @@ class AVCCMaster(MatvecMasterBase):
             rejected=rejected,
             used=[a.worker_id for a in verified],
         )
-        self.cluster.advance_to(t_end)
+        self.backend.advance_to(t_end)
         return RoundOutcome(vector=vec, record=record)
 
-    def _collect_verified(self, rr: RoundResult, keys, operand, need: int):
-        """Walk arrivals in time order, verifying each on the master
-        core, until ``need`` results pass. Returns
+    def _collect_verified(self, handle: RoundHandle, keys, operand, need: int):
+        """Consume arrivals in time order, verifying each on the master
+        core, until ``need`` results pass — then cancel the round so no
+        backend waits on the remaining stragglers. Returns
         ``(verified_arrivals, rejected_ids, verify_work_time, t_done)``.
         """
-        master_free = rr.t_start + rr.broadcast_time
+        master_free = handle.t_start + handle.broadcast_time
         verified = []
         rejected: list[int] = []
         verify_time = 0.0
         t_done = math.inf
-        for a in rr.arrivals:
-            if not math.isfinite(a.t_arrival):
-                break
+        for a in handle:
             key = keys[a.worker_id]
             vt = self.cost_model.master_compute_time(
                 self.verifier.check_cost_ops(key)
@@ -200,6 +204,7 @@ class AVCCMaster(MatvecMasterBase):
                 rejected.append(a.worker_id)
             if len(verified) == need:
                 t_done = master_free
+                handle.cancel()
                 break
         return verified, rejected, verify_time, t_done
 
@@ -224,6 +229,7 @@ class AVCCMaster(MatvecMasterBase):
                 self._code_pos = {
                     w: p for w, p in self._code_pos.items() if w in self.active
                 }
+                self.backend.drop_workers(dropped)
             if decision.reencode:
                 reencode_time = self._install_config(
                     decision.new_n, decision.new_k, self.active
@@ -236,7 +242,5 @@ class AVCCMaster(MatvecMasterBase):
             observed_stragglers=s_t_ids,
             detected_byzantine=m_t_ids,
         )
-        self._iteration += 1
-        self._iter_rejected = set()
-        self._iter_stragglers = set()
+        self._reset_iteration_observations()
         return out

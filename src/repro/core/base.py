@@ -1,7 +1,15 @@
 """Common machinery for all masters: padding, cost helpers, the
 broadcast-compute-collect round skeleton.
 
-Every master serves two encoded matrix *families* (paper Sec. IV-A):
+Masters are **backend-agnostic**: they accept any
+:class:`~repro.runtime.backend.Backend` (the discrete-event simulator,
+the thread pool, or the shared-memory process pool) and drive it
+through declarative :class:`~repro.runtime.backend.RoundJob` dispatches.
+A master's verify/decode/adapt logic never changes across backends —
+only where the worker arithmetic physically runs.
+
+Every matvec master serves two encoded matrix *families* (paper
+Sec. IV-A):
 
 * ``fwd`` — row-blocks of ``X`` (``(m_pad/K, d)`` each), computing
   ``z = X·w`` from worker products ``X~_i·w``;
@@ -25,8 +33,7 @@ import numpy as np
 
 from repro.coding.base import unpartition_rows
 from repro.ff.field import PrimeField
-from repro.ff.linalg import ff_matvec
-from repro.runtime.cluster import Arrival, RoundResult, SimCluster
+from repro.runtime.backend import Arrival, Backend, RoundHandle, RoundJob, RoundResult
 from repro.runtime.trace import RoundRecord
 
 __all__ = ["pad_rows_to_multiple", "MatvecMasterBase", "FamilyState"]
@@ -75,8 +82,9 @@ class FamilyState:
 class MatvecMasterBase:
     """Skeleton shared by AVCC, LCC, uncoded and Static VCC masters.
 
-    Subclasses implement ``_collect`` (their waiting/verification
-    policy) and ``setup``; the round-driving logic here is common.
+    Subclasses implement their waiting/verification policy over the
+    round's :class:`~repro.runtime.backend.RoundHandle` and ``setup``;
+    the round-driving logic here is common and backend-agnostic.
     """
 
     name = "base"
@@ -88,18 +96,22 @@ class MatvecMasterBase:
     #: ignoring benign jitter.
     straggler_ratio = 2.0
 
-    def __init__(self, cluster: SimCluster, rng: np.random.Generator | None = None):
-        self.cluster = cluster
-        self.field: PrimeField = cluster.field
-        self.cost_model = cluster.cost_model
+    def __init__(self, backend: Backend, rng: np.random.Generator | None = None):
+        self.backend = backend
+        #: legacy alias — the trainers and older call sites say
+        #: ``master.cluster``; it is the same object as ``backend``
+        self.cluster = backend
+        self.field: PrimeField = backend.field
+        self.cost_model = backend.cost_model
         self.rng = rng or np.random.default_rng(0)
         #: worker ids participating, in code-position order
-        self.active: list[int] = list(range(cluster.n))
+        self.active: list[int] = list(range(backend.n))
         self._families: dict[str, FamilyState] = {}
         self._iteration = 0
         # per-iteration observation scratch (reset by end_iteration)
         self._iter_rejected: set[int] = set()
         self._iter_stragglers: set[int] = set()
+        self._iter_round_stragglers: list[set[int]] = []
 
     # ------------------------------------------------------------------
     # helpers for subclasses
@@ -114,36 +126,53 @@ class MatvecMasterBase:
         except KeyError:
             raise ValueError(f"unknown family {family!r}; call setup() first") from None
 
-    def _run_family_round(self, family: str, operand: np.ndarray) -> RoundResult:
+    def _run_family_round(self, family: str, operand: np.ndarray) -> RoundHandle:
         st = self._family(family)
         operand = self.field.asarray(operand)
         if operand.shape != (st.operand_len,):
             raise ValueError(
                 f"{family} operand must have length {st.operand_len}, got {operand.shape}"
             )
-        fam_key = st.name
-        return self.cluster.run_round(
-            compute=lambda p, _k=fam_key, _op=operand: ff_matvec(self.field, p[_k], _op),
-            macs=lambda p, _k=fam_key: int(np.asarray(p[_k]).size),
-            broadcast_elements=st.operand_len,
-            participants=self.active,
-        )
+        job = RoundJob(op="matvec", payload_key=st.name, operand=operand)
+        return self.backend.dispatch_round(job, participants=self.active)
 
-    def _note_stragglers(self, rr: RoundResult) -> None:
-        """Latency-based straggler observation.
+    def _note_stragglers(self, rr: RoundResult, used: Sequence[int] = ()) -> None:
+        """Straggler observation, feeding the adaptive policy's ``S_t``.
 
-        A worker is flagged when its broadcast-to-arrival latency
-        exceeds ``straggler_ratio`` times the round's median latency
-        (silent workers are always flagged). Note that a straggler the
-        master *waited for* still counts — that is what makes the
-        Fig. 5 scenario observe ``S_t = 3`` even though only two
-        stragglers went unused.
+        Workers that never arrived (silent, or cancelled before
+        finishing) are always flagged.
+
+        On exact-timing backends (the simulator) a worker is
+        additionally flagged when its broadcast-to-arrival latency
+        exceeds ``straggler_ratio`` times the round's median latency.
+        Note that a straggler the master *waited for* still counts —
+        that is what makes the Fig. 5 scenario observe ``S_t = 3``
+        even though only two stragglers went unused.
+
+        On wall-clock backends the ratio test misfires: at millisecond
+        scale, OS scheduling jitter (especially with more workers than
+        cores) routinely exceeds twice the median, and false flags
+        goad the adaptive policy into shrinking the code. There a
+        worker is instead observed as a straggler when its result went
+        unused — the paper's operational reading of ``S_t`` — and only
+        if that happened in *every* round of the iteration: which
+        worker loses a scheduling race changes round to round, but a
+        genuine straggler loses them all.
         """
         bcast_done = rr.t_start + rr.broadcast_time
         finite = [a for a in rr.arrivals if math.isfinite(a.t_arrival)]
-        for a in rr.arrivals:
-            if not math.isfinite(a.t_arrival):
-                self._iter_stragglers.add(a.worker_id)
+        flagged = {
+            a.worker_id for a in rr.arrivals if not math.isfinite(a.t_arrival)
+        }
+        if not getattr(self.backend, "timing_is_exact", False):
+            consumed = set(used) | self._iter_rejected
+            flagged.update(a.worker_id for a in finite if a.worker_id not in consumed)
+            self._iter_round_stragglers.append(flagged)
+            self._iter_stragglers = set(
+                set.intersection(*self._iter_round_stragglers)
+            )
+            return
+        self._iter_stragglers.update(flagged)
         if not finite:
             return
         latencies = np.array([a.t_arrival - bcast_done for a in finite])
@@ -225,6 +254,12 @@ class MatvecMasterBase:
     def _round(self, family: str, operand):  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def _reset_iteration_observations(self) -> None:
+        self._iteration += 1
+        self._iter_rejected = set()
+        self._iter_stragglers = set()
+        self._iter_round_stragglers = []
+
     def end_iteration(self):
         """Default: advance the iteration counter, no adaptation."""
         from repro.core.results import AdaptationOutcome
@@ -236,9 +271,7 @@ class MatvecMasterBase:
             observed_stragglers=tuple(sorted(self._iter_stragglers - self._iter_rejected)),
             detected_byzantine=tuple(sorted(self._iter_rejected)),
         )
-        self._iteration += 1
-        self._iter_rejected = set()
-        self._iter_stragglers = set()
+        self._reset_iteration_observations()
         return out
 
     @property

@@ -29,8 +29,7 @@ from repro.coding.lcc import LagrangeCode
 from repro.coding.scheme import SchemeParams
 from repro.core.base import MatvecMasterBase, pad_rows_to_multiple
 from repro.core.results import InsufficientResultsError, RoundOutcome
-from repro.ff.linalg import ff_matvec
-from repro.runtime.cluster import SimCluster
+from repro.runtime.backend import Backend, RoundJob
 from repro.verify.twostage import TwoStageVerifier
 
 __all__ = ["GramianAVCCMaster"]
@@ -43,7 +42,7 @@ class GramianAVCCMaster(MatvecMasterBase):
 
     def __init__(
         self,
-        cluster: SimCluster,
+        cluster: Backend,
         scheme: SchemeParams,
         probes: int = 1,
         rng: np.random.Generator | None = None,
@@ -64,7 +63,7 @@ class GramianAVCCMaster(MatvecMasterBase):
 
     # ------------------------------------------------------------------
     def setup(self, x_field: np.ndarray) -> float:
-        t0 = self.cluster.now
+        t0 = self.backend.now
         x = self.field.asarray(x_field)
         if x.ndim != 2:
             raise ValueError("dataset must be a matrix")
@@ -78,12 +77,12 @@ class GramianAVCCMaster(MatvecMasterBase):
         shares = self._code.encode(
             partition_rows(x_pad, k), self.rng if self.scheme.t else None
         )
-        self.cluster.distribute("gram", shares, participants=self.active)
+        self.backend.distribute("gram", shares, participants=self.active)
         self._keys = {
             wid: self.verifier.keygen_single(shares[slot], self.rng)
             for slot, wid in enumerate(self.active)
         }
-        return self.cluster.now - t0
+        return self.backend.now - t0
 
     @property
     def scheme_now(self) -> tuple[int, int]:
@@ -101,26 +100,16 @@ class GramianAVCCMaster(MatvecMasterBase):
         b = self._m_pad // self.scheme.k
         d = self._d
 
-        def compute(payload, _w=w):
-            share = payload["gram"]
-            z = ff_matvec(field, share, _w)
-            g = ff_matvec(field, share.T, z)
-            return np.concatenate([z, g])
-
-        rr = self.cluster.run_round(
-            compute=compute,
-            macs=lambda p: 2 * int(np.asarray(p["gram"]).size),
-            broadcast_elements=d,
+        handle = self.backend.dispatch_round(
+            RoundJob(op="gramian", payload_key="gram", operand=w),
             participants=self.active,
         )
 
         need = self._code.recovery_threshold(deg_f=2)
-        master_free = rr.t_start + rr.broadcast_time
+        master_free = handle.t_start + handle.broadcast_time
         verified, rejected, verify_time = [], [], 0.0
         t_done = math.inf
-        for a in rr.arrivals:
-            if not math.isfinite(a.t_arrival):
-                break
+        for a in handle:
             key = self._keys[a.worker_id]
             vt = self.cost_model.master_compute_time(
                 self.verifier.check_cost_ops(key)
@@ -135,7 +124,9 @@ class GramianAVCCMaster(MatvecMasterBase):
                 rejected.append(a.worker_id)
             if len(verified) == need:
                 t_done = master_free
+                handle.cancel()
                 break
+        rr = handle.result()
         if len(verified) < need:
             raise InsufficientResultsError(
                 f"gramian round: {len(verified)} verified results, need {need}"
@@ -151,7 +142,7 @@ class GramianAVCCMaster(MatvecMasterBase):
 
         t_end = t_done + decode_time
         self._iter_rejected.update(rejected)
-        self._note_stragglers(rr)
+        self._note_stragglers(rr, used=[a.worker_id for a in verified])
         record = self._mk_record(
             round_name="gramian",
             rr=rr,
@@ -164,5 +155,5 @@ class GramianAVCCMaster(MatvecMasterBase):
             rejected=rejected,
             used=[a.worker_id for a in verified],
         )
-        self.cluster.advance_to(t_end)
+        self.backend.advance_to(t_end)
         return RoundOutcome(vector=g, record=record)

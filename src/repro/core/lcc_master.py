@@ -17,8 +17,6 @@ Differences from AVCC, exactly as the paper characterizes them:
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 from repro.coding.scheme import SchemeParams
@@ -26,7 +24,7 @@ from repro.core.base import FamilyState, MatvecMasterBase
 from repro.core.dynamic import EncodingCache
 from repro.core.results import InsufficientResultsError, RoundOutcome
 from repro.ff.rs import DecodingError
-from repro.runtime.cluster import SimCluster
+from repro.runtime.backend import Backend
 
 __all__ = ["LCCMaster"]
 
@@ -38,7 +36,7 @@ class LCCMaster(MatvecMasterBase):
 
     def __init__(
         self,
-        cluster: SimCluster,
+        cluster: Backend,
         scheme: SchemeParams,
         rng: np.random.Generator | None = None,
     ):
@@ -53,13 +51,13 @@ class LCCMaster(MatvecMasterBase):
 
     # ------------------------------------------------------------------
     def setup(self, x_field: np.ndarray) -> float:
-        t0 = self.cluster.now
+        t0 = self.backend.now
         cache = EncodingCache(
             self.field, x_field, t=self.scheme.t, rng=self.rng, build_keys=False
         )
         cfg = cache.get(self.scheme.n, self.scheme.k)
-        self.cluster.distribute("fwd", cfg.fwd_shares, participants=self.active)
-        self.cluster.distribute("bwd", cfg.bwd_shares, participants=self.active)
+        self.backend.distribute("fwd", cfg.fwd_shares, participants=self.active)
+        self.backend.distribute("bwd", cfg.bwd_shares, participants=self.active)
         self._cfg = cfg
         k = self.scheme.k
         self._families = {
@@ -74,7 +72,7 @@ class LCCMaster(MatvecMasterBase):
                 block_rows=cfg.d_pad // k, block_cols=cfg.m_pad,
             ),
         }
-        return self.cluster.now - t0
+        return self.backend.now - t0
 
     @property
     def scheme_now(self) -> tuple[int, int]:
@@ -86,16 +84,23 @@ class LCCMaster(MatvecMasterBase):
             raise RuntimeError("setup() must be called before rounds")
         st = self._family(family)
         operand = st.pad_operand(self.field, operand)
-        rr = self._run_family_round(family, operand)
+        handle = self._run_family_round(family, operand)
 
         need = self._cfg.code.recovery_threshold()
         wait_count = self.scheme.n - self.scheme.s
-        finite = [a for a in rr.arrivals if math.isfinite(a.t_arrival)]
-        if len(finite) < need:
+        # LCC must wait for N - S results before it can even *detect*
+        # errors (Remark 1) — but not for the stragglers beyond that.
+        collected = []
+        for a in handle:
+            collected.append(a)
+            if len(collected) == wait_count:
+                handle.cancel()
+                break
+        rr = handle.result()
+        if len(collected) < need:
             raise InsufficientResultsError(
-                f"{family} round: {len(finite)} results < threshold {need}"
+                f"{family} round: {len(collected)} results < threshold {need}"
             )
-        collected = finite[: min(wait_count, len(finite))]
         t_wait = collected[-1].t_arrival
 
         positions = np.asarray([self._code_pos(a.worker_id) for a in collected])
@@ -122,7 +127,7 @@ class LCCMaster(MatvecMasterBase):
         vec = self._strip(blocks, st.true_len)
         t_end = t_wait + decode_time
         self._iter_rejected.update(rejected)
-        self._note_stragglers(rr)
+        self._note_stragglers(rr, used=[a.worker_id for a in collected])
         record = self._mk_record(
             round_name=family,
             rr=rr,
@@ -135,7 +140,7 @@ class LCCMaster(MatvecMasterBase):
             rejected=rejected,
             used=[a.worker_id for a in collected],
         )
-        self.cluster.advance_to(t_end)
+        self.backend.advance_to(t_end)
         return RoundOutcome(vector=vec, record=record)
 
     def _code_pos(self, worker_id: int) -> int:

@@ -25,8 +25,7 @@ from repro.coding.base import partition_rows
 from repro.coding.polynomial import PolynomialCode
 from repro.core.base import MatvecMasterBase
 from repro.core.results import InsufficientResultsError, RoundOutcome
-from repro.ff.linalg import ff_matmul
-from repro.runtime.cluster import SimCluster
+from repro.runtime.backend import Backend, RoundJob
 from repro.verify.matmul import MatmulVerifier
 
 __all__ = ["CodedMatmulAVCCMaster"]
@@ -39,7 +38,7 @@ class CodedMatmulAVCCMaster(MatvecMasterBase):
 
     def __init__(
         self,
-        cluster: SimCluster,
+        cluster: Backend,
         p: int,
         q: int,
         s: int = 0,
@@ -66,7 +65,7 @@ class CodedMatmulAVCCMaster(MatvecMasterBase):
     # ------------------------------------------------------------------
     def setup(self, a: np.ndarray, b: np.ndarray) -> float:
         """Encode and distribute both factors; precompute probe keys."""
-        t0 = self.cluster.now
+        t0 = self.backend.now
         field = self.field
         a = field.asarray(a)
         b = field.asarray(b)
@@ -81,17 +80,17 @@ class CodedMatmulAVCCMaster(MatvecMasterBase):
         b_blocks = partition_rows(np.ascontiguousarray(b.T), self.q)
         b_blocks = b_blocks.transpose(0, 2, 1)  # (q, n, r/q) column blocks
 
-        self._code = PolynomialCode(field, self.cluster.n, self.p, self.q)
+        self._code = PolynomialCode(field, self.backend.n, self.p, self.q)
         a_shares = self._code.encode_a(a_blocks)
         b_shares = self._code.encode_b(b_blocks)
-        self.cluster.distribute("A", a_shares, participants=self.active)
-        self.cluster.distribute("B", b_shares, participants=self.active)
+        self.backend.distribute("A", a_shares, participants=self.active)
+        self.backend.distribute("B", b_shares, participants=self.active)
         self._b_shares = b_shares
         self._keys = {
             wid: self.verifier.keygen_single(a_shares[slot], self.rng)
             for slot, wid in enumerate(self.active)
         }
-        return self.cluster.now - t0
+        return self.backend.now - t0
 
     @property
     def scheme_now(self) -> tuple[int, int]:
@@ -102,25 +101,19 @@ class CodedMatmulAVCCMaster(MatvecMasterBase):
         """One coded round computing the full product ``A @ B``."""
         if self._code is None:
             raise RuntimeError("setup() must be called before multiply()")
-        field = self.field
 
-        rr = self.cluster.run_round(
-            compute=lambda payload: ff_matmul(field, payload["A"], payload["B"]),
-            macs=lambda payload: int(
-                payload["A"].shape[0] * payload["A"].shape[1] * payload["B"].shape[1]
-            ),
-            broadcast_elements=0,  # factors pre-shipped; round is a trigger
+        # factors are pre-shipped; the round is a trigger
+        handle = self.backend.dispatch_round(
+            RoundJob(op="matmul", payload_key="A", rhs_key="B"),
             participants=self.active,
         )
 
         need = self._code.recovery_threshold
-        master_free = rr.t_start + rr.broadcast_time
+        master_free = handle.t_start + handle.broadcast_time
         verified, rejected, verify_time = [], [], 0.0
         t_done = math.inf
         out_cols = self._b_shares.shape[2]
-        for a in rr.arrivals:
-            if not math.isfinite(a.t_arrival):
-                break
+        for a in handle:
             key = self._keys[a.worker_id]
             vt = self.cost_model.master_compute_time(
                 self.verifier.check_cost_ops(key, out_cols)
@@ -135,7 +128,9 @@ class CodedMatmulAVCCMaster(MatvecMasterBase):
                 rejected.append(a.worker_id)
             if len(verified) == need:
                 t_done = master_free
+                handle.cancel()
                 break
+        rr = handle.result()
         if len(verified) < need:
             raise InsufficientResultsError(
                 f"matmul round: {len(verified)} verified products, need {need}"
@@ -152,7 +147,7 @@ class CodedMatmulAVCCMaster(MatvecMasterBase):
 
         t_end = t_done + decode_time
         self._iter_rejected.update(rejected)
-        self._note_stragglers(rr)
+        self._note_stragglers(rr, used=[a.worker_id for a in verified])
         record = self._mk_record(
             round_name="matmul",
             rr=rr,
@@ -165,5 +160,5 @@ class CodedMatmulAVCCMaster(MatvecMasterBase):
             rejected=rejected,
             used=[a.worker_id for a in verified],
         )
-        self.cluster.advance_to(t_end)
+        self.backend.advance_to(t_end)
         return RoundOutcome(vector=c, record=record)

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.coding.scheme import SchemeParams
 from repro.core.avcc import AVCCMaster
-from repro.runtime.cluster import SimCluster
+from repro.runtime.backend import Backend
 
 __all__ = ["StaticVCCMaster"]
 
@@ -29,7 +29,7 @@ class StaticVCCMaster(AVCCMaster):
 
     def __init__(
         self,
-        cluster: SimCluster,
+        cluster: Backend,
         scheme: SchemeParams,
         probes: int = 1,
         rng: np.random.Generator | None = None,

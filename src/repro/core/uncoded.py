@@ -12,7 +12,6 @@ workers (corrupted blocks flow straight into the result).
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
 import numpy as np
@@ -20,7 +19,7 @@ import numpy as np
 from repro.coding.base import partition_rows
 from repro.core.base import FamilyState, MatvecMasterBase, pad_rows_to_multiple
 from repro.core.results import InsufficientResultsError, RoundOutcome
-from repro.runtime.cluster import SimCluster
+from repro.runtime.backend import Backend
 
 __all__ = ["UncodedMaster"]
 
@@ -32,7 +31,7 @@ class UncodedMaster(MatvecMasterBase):
 
     def __init__(
         self,
-        cluster: SimCluster,
+        cluster: Backend,
         k: int,
         participants: Sequence[int] | None = None,
         rng: np.random.Generator | None = None,
@@ -51,16 +50,16 @@ class UncodedMaster(MatvecMasterBase):
 
     # ------------------------------------------------------------------
     def setup(self, x_field: np.ndarray) -> float:
-        t0 = self.cluster.now
+        t0 = self.backend.now
         x = self.field.asarray(x_field)
         m, d = x.shape
         x_pad = pad_rows_to_multiple(x, self.k)
         xt_pad = pad_rows_to_multiple(np.ascontiguousarray(x_pad.T), self.k)
         m_pad, d_pad = x_pad.shape[0], xt_pad.shape[0]
-        self.cluster.distribute(
+        self.backend.distribute(
             "fwd", partition_rows(x_pad, self.k), participants=self.active
         )
-        self.cluster.distribute(
+        self.backend.distribute(
             "bwd", partition_rows(xt_pad, self.k), participants=self.active
         )
         self._dims = (m, d, m_pad, d_pad)
@@ -76,7 +75,7 @@ class UncodedMaster(MatvecMasterBase):
                 block_rows=d_pad // self.k, block_cols=m_pad,
             ),
         }
-        return self.cluster.now - t0
+        return self.backend.now - t0
 
     @property
     def scheme_now(self) -> tuple[int, int]:
@@ -88,9 +87,10 @@ class UncodedMaster(MatvecMasterBase):
             raise RuntimeError("setup() must be called before rounds")
         st = self._family(family)
         operand = st.pad_operand(self.field, operand)
-        rr = self._run_family_round(family, operand)
+        handle = self._run_family_round(family, operand)
 
-        finite = [a for a in rr.arrivals if math.isfinite(a.t_arrival)]
+        finite = list(handle)  # uncoded has no slack: wait for everyone
+        rr = handle.result()
         if len(finite) < self.k:
             raise InsufficientResultsError(
                 f"{family} round: a worker died; uncoded cannot proceed"
@@ -100,7 +100,7 @@ class UncodedMaster(MatvecMasterBase):
         by_position = sorted(finite, key=lambda a: self.active.index(a.worker_id))
         blocks = np.stack([a.value for a in by_position])
         vec = self._strip(blocks, st.true_len)
-        self._note_stragglers(rr)
+        self._note_stragglers(rr, used=[a.worker_id for a in by_position])
 
         record = self._mk_record(
             round_name=family,
@@ -114,5 +114,5 @@ class UncodedMaster(MatvecMasterBase):
             rejected=[],
             used=[a.worker_id for a in by_position],
         )
-        self.cluster.advance_to(t_end)
+        self.backend.advance_to(t_end)
         return RoundOutcome(vector=vec, record=record)

@@ -1,26 +1,46 @@
-"""Discrete-event master/worker cluster simulator.
+"""Execution backends for the coded-computing masters.
 
 This package substitutes for the paper's physical testbed (13 Minnow
 nodes on DCOMP, Sec. V). The protocol code paths — encoding, worker
 compute, per-worker verification, decoding, dynamic re-coding — run for
-real over real field arithmetic; only *time* is simulated, through a
-calibrated :class:`CostModel` plus per-worker latency profiles. That
-preserves every phenomenon the evaluation measures (straggler tail
-latency, Byzantine injection, verification/decode overhead,
-re-encoding transfer costs) while making runs deterministic.
+real over real field arithmetic on every backend; only *where* (and
+whether) time is simulated differs. All backends implement the same
+:class:`Backend` protocol, so any master runs on any of them:
+
+``SimCluster``
+    Discrete-event simulator with a calibrated :class:`CostModel` and
+    per-worker latency profiles: deterministic, used by the paper
+    reproductions (straggler tails, Byzantine injection, verification
+    and re-encoding costs all measured on a virtual clock).
+``ThreadedCluster``
+    Real thread-pool execution with injected straggler sleeps; NumPy
+    releases the GIL so worker kernels overlap. Real early stopping.
+``ProcessCluster``
+    One OS process per worker with shared-memory operand broadcast —
+    worker compute escapes the GIL entirely.
 
 Layout
 ------
+``backend``     the Backend/RoundJob/RoundHandle protocol
 ``events``      minimal event-queue kernel
 ``costmodel``   seconds-per-MAC / bandwidth / RTT constants
 ``latency``     worker speed profiles (deterministic, shifted-exp, ...)
 ``byzantine``   attack behaviours (reverse-value, constant, ...)
-``worker``      a simulated worker = payload + profile + behaviour
-``cluster``     the master-side round executor
+``worker``      a worker description = payload + profile + behaviour
+``cluster``     the discrete-event backend
+``threaded``    the thread-pool backend
+``process``     the shared-memory multiprocessing backend
 ``trace``       per-round/per-iteration timing records (drives Fig. 4/5)
-``threaded``    optional real thread-pool backend for live demos
 """
 
+from repro.runtime.backend import (
+    Arrival,
+    Backend,
+    RoundHandle,
+    RoundJob,
+    RoundResult,
+    WallClockBackend,
+)
 from repro.runtime.byzantine import (
     Behavior,
     ConstantAttack,
@@ -30,7 +50,7 @@ from repro.runtime.byzantine import (
     ReversedValueAttack,
     SilentFailure,
 )
-from repro.runtime.cluster import Arrival, RoundResult, SimCluster
+from repro.runtime.cluster import SimCluster
 from repro.runtime.costmodel import CostModel
 from repro.runtime.events import EventQueue
 from repro.runtime.latency import (
@@ -40,11 +60,14 @@ from repro.runtime.latency import (
     ShiftedExponentialLatency,
     make_profiles,
 )
+from repro.runtime.process import ProcessCluster
+from repro.runtime.threaded import ThreadedCluster
 from repro.runtime.trace import IterationRecord, RoundRecord, TraceRecorder
 from repro.runtime.worker import SimWorker
 
 __all__ = [
     "Arrival",
+    "Backend",
     "Behavior",
     "ConstantAttack",
     "CostModel",
@@ -55,14 +78,19 @@ __all__ = [
     "IntermittentAttack",
     "IterationRecord",
     "LatencyModel",
+    "ProcessCluster",
     "RandomAttack",
     "ReversedValueAttack",
+    "RoundHandle",
+    "RoundJob",
     "RoundRecord",
     "RoundResult",
     "ShiftedExponentialLatency",
     "SilentFailure",
     "SimCluster",
     "SimWorker",
+    "ThreadedCluster",
     "TraceRecorder",
+    "WallClockBackend",
     "make_profiles",
 ]

@@ -1,4 +1,4 @@
-"""The master-side round executor.
+"""The discrete-event execution backend (master-side round executor).
 
 One *round* = broadcast an operand, let every participating worker
 compute over its stored shares, collect results in arrival order. The
@@ -14,52 +14,69 @@ Timing of worker ``i`` for a round starting at ``t0``::
 Silent workers never arrive (``t = inf``). Results of Byzantine
 workers are corrupted *before* transmission — the master sees only the
 transmitted bytes, exactly like the real system.
+
+:class:`SimCluster` implements the :class:`~repro.runtime.backend.Backend`
+protocol, so any master runs on it interchangeably with the real
+thread-pool and process backends. Because the simulator computes every
+arrival up front, cancellation is free and the full arrival schedule
+(including workers the master never waited for) stays observable —
+which is what the straggler detector uses.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
 from repro.ff.field import PrimeField
+from repro.runtime.backend import (
+    Arrival,
+    Backend,
+    RoundHandle,
+    RoundJob,
+    RoundResult,
+    job_macs,
+    run_job_compute,
+)
 from repro.runtime.costmodel import CostModel
 from repro.runtime.events import EventQueue
 from repro.runtime.worker import SimWorker
 
-__all__ = ["Arrival", "RoundResult", "SimCluster"]
+__all__ = ["Arrival", "RoundResult", "SimCluster", "SimRoundHandle"]
 
 
-@dataclass(frozen=True)
-class Arrival:
-    """One worker result as seen by the master."""
+class SimRoundHandle(RoundHandle):
+    """A completed simulated round wrapped in the in-flight interface.
 
-    worker_id: int
-    value: Any
-    t_arrival: float
-    compute_time: float
-    comm_time: float
-    #: ground truth for traces/tests only — masters must never read it
-    truly_byzantine: bool
+    The simulator resolves all arrivals at dispatch time, so iteration
+    never blocks and :meth:`cancel` is pure bookkeeping — the master
+    simply stops consuming. :meth:`result` intentionally keeps the
+    *full* schedule (what every worker would have delivered), which the
+    masters' straggler accounting relies on.
+    """
+
+    def __init__(self, rr: RoundResult):
+        self._rr = rr
+        self.t_start = rr.t_start
+        self.broadcast_time = rr.broadcast_time
+
+    def __iter__(self) -> Iterator[Arrival]:
+        return iter(self._rr.arrived())
+
+    def cancel(self) -> None:
+        pass
+
+    def result(self) -> RoundResult:
+        return self._rr
 
 
-@dataclass(frozen=True)
-class RoundResult:
-    """All arrivals of one round, ordered by arrival time."""
-
-    t_start: float
-    broadcast_time: float
-    arrivals: tuple[Arrival, ...]
-
-    def arrived(self) -> tuple[Arrival, ...]:
-        """Only the workers that ever respond."""
-        return tuple(a for a in self.arrivals if math.isfinite(a.t_arrival))
-
-
-class SimCluster:
+class SimCluster(Backend):
     """A master plus ``n`` simulated workers sharing one virtual clock.
+
+    Timestamps are exact (virtual clock), so masters may apply the
+    latency-ratio straggler detector to them.
 
     Parameters
     ----------
@@ -73,6 +90,8 @@ class SimCluster:
         Single generator for all stochastic elements (latency jitter,
         attack randomness) — runs are reproducible given the seed.
     """
+
+    timing_is_exact = True
 
     def __init__(
         self,
@@ -88,7 +107,8 @@ class SimCluster:
         self.workers = list(sorted(workers, key=lambda w: w.worker_id))
         self.cost_model = cost_model or CostModel()
         self.rng = rng or np.random.default_rng(0)
-        self.now = 0.0
+        self._now = 0.0
+        self._dropped: set[int] = set()
 
     # ------------------------------------------------------------------
     @property
@@ -98,16 +118,25 @@ class SimCluster:
     def worker(self, worker_id: int) -> SimWorker:
         return self.workers[worker_id]
 
+    @property
+    def now(self) -> float:
+        return self._now
+
     def advance_to(self, t: float) -> None:
         """Move the virtual clock forward (never backward)."""
-        if t < self.now - 1e-12:
-            raise ValueError(f"clock cannot run backward: {t} < {self.now}")
-        self.now = max(self.now, t)
+        if t < self._now - 1e-12:
+            raise ValueError(f"clock cannot run backward: {t} < {self._now}")
+        self._now = max(self._now, t)
 
     def elapse(self, dt: float) -> None:
         if dt < 0:
             raise ValueError("dt must be non-negative")
-        self.now += dt
+        self._now += dt
+
+    def drop_workers(self, worker_ids: Sequence[int]) -> None:
+        """Bookkeeping only: simulated workers cost nothing to keep,
+        but dropped ids are remembered for introspection."""
+        self._dropped.update(int(w) for w in worker_ids)
 
     # ------------------------------------------------------------------
     def distribute(self, name: str, shares: np.ndarray, participants=None) -> float:
@@ -124,21 +153,23 @@ class SimCluster:
             share = shares[slot]
             self.workers[wid].store(**{name: share})
             total += self.cost_model.transfer_time(int(np.asarray(share).size))
-        self.now += total
+        self._now += total
         return total
 
-    def _participants(self, participants) -> list[int]:
-        if participants is None:
-            return list(range(self.n))
-        out = list(participants)
-        if len(set(out)) != len(out):
-            raise ValueError("duplicate participant ids")
-        for wid in out:
-            if not 0 <= wid < self.n:
-                raise ValueError(f"worker id {wid} out of range")
-        return out
-
     # ------------------------------------------------------------------
+    def dispatch_round(
+        self, job: RoundJob, participants: Sequence[int] | None = None
+    ) -> SimRoundHandle:
+        """Backend-protocol entry point: resolve the whole round on the
+        virtual clock and hand back its (pre-computed) arrival stream."""
+        rr = self.run_round(
+            compute=lambda p, _j=job: run_job_compute(self.field, p, _j),
+            macs=lambda p, _j=job: job_macs(p, _j),
+            broadcast_elements=job.broadcast_elements(),
+            participants=participants,
+        )
+        return SimRoundHandle(rr)
+
     def run_round(
         self,
         compute: Callable[[dict[str, Any]], np.ndarray],
@@ -166,7 +197,7 @@ class SimCluster:
         stragglers).
         """
         participants = self._participants(participants)
-        t0 = self.now
+        t0 = self._now
         bcast = self.cost_model.transfer_time(int(broadcast_elements))
         t_ready = t0 + bcast  # master broadcasts; all workers start then
 
@@ -194,5 +225,5 @@ class SimCluster:
                     truly_byzantine=self.workers[wid].is_byzantine,
                 )
             )
-        self.now = t_ready
+        self._now = t_ready
         return RoundResult(t_start=t0, broadcast_time=bcast, arrivals=tuple(arrivals))

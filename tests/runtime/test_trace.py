@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.runtime import IterationRecord, RoundRecord, TraceRecorder
+from repro.runtime import RoundRecord, TraceRecorder
 
 
 def _round(it, name, t0, t1, **kw):

@@ -33,6 +33,15 @@ class TestExamples:
         assert "REJECTED (Byzantine)" in out
         assert "never waited for" in out
 
+    @pytest.mark.parametrize("backend", ["threaded", "process"])
+    def test_quickstart_real_backends(self, backend):
+        out = _run("quickstart.py", backend)
+        assert f"backend: {backend}" in out
+        assert "bit-exact" in out
+        # no Byzantine-rejection assert here: on real backends arrival
+        # order is a wall-clock race, and the round may legitimately
+        # early-stop on K honest results before the forgery is consumed
+
     def test_coded_matmul(self):
         out = _run("coded_matmul.py")
         assert "recovered bit-exactly" in out
