@@ -3,7 +3,8 @@
 Runs the identical AVCC workload — setup plus a block of
 forward/backward rounds at the experiments' default (m=1200, d=600,
 N=12, K=9) scale — on all three ``Backend`` implementations and
-reports real wall-clock for each:
+reports real wall-clock for each. The deployment is one
+``SessionConfig``; only the ``backend`` registry name changes:
 
 * ``sim`` measures protocol + master arithmetic only (worker time is
   virtual), so it is the floor: the master-side cost of the protocol.
@@ -21,38 +22,30 @@ machine-dependent and intentionally not asserted.
 import numpy as np
 import pytest
 
+from repro.api import Session, SessionConfig, WorkerSpec
 from repro.coding import SchemeParams
-from repro.core import AVCCMaster
 from repro.ff import ff_matvec
-from repro.runtime import (
-    Honest,
-    ProcessCluster,
-    ReversedValueAttack,
-    SimCluster,
-    SimWorker,
-    ThreadedCluster,
-    make_profiles,
-)
 
 N, K, S, M = 12, 9, 1, 2
 ROUNDS = 4
 
 
-def _fleet(n):
-    profiles = make_profiles(n, {0: 3.0})
-    behaviors = {7: ReversedValueAttack()}
-    return [
-        SimWorker(i, profile=profiles[i], behavior=behaviors.get(i, Honest()))
-        for i in range(n)
-    ]
+def _specs(straggler_factor=3.0, byzantine_id=7):
+    specs = [WorkerSpec() for _ in range(N)]
+    specs[0] = WorkerSpec(straggler_factor=straggler_factor)
+    if byzantine_id is not None:
+        specs[byzantine_id] = WorkerSpec(behavior="reverse")
+    return tuple(specs)
 
 
-def _make_backend(kind, field):
-    if kind == "sim":
-        return SimCluster(field, _fleet(N), rng=np.random.default_rng(1))
-    if kind == "threaded":
-        return ThreadedCluster(field, _fleet(N), straggle_scale=0.01)
-    return ProcessCluster(field, _fleet(N), straggle_scale=0.01)
+def _config(kind, s=S, m=M, **kwargs):
+    return SessionConfig(
+        scheme=SchemeParams(n=N, k=K, s=s, m=m),
+        master="avcc",
+        backend=kind,
+        seed=1,
+        **kwargs,
+    )
 
 
 @pytest.mark.parametrize("kind", ["sim", "threaded", "process"])
@@ -63,19 +56,17 @@ def test_avcc_rounds_per_backend(benchmark, cfg, field, rng, kind):
     z = ff_matvec(field, x, w)
     g = ff_matvec(field, x.T.copy(), e)
 
+    opts = {} if kind == "sim" else {"backend_options": {"straggle_scale": 0.01}}
+    config = _config(kind, workers=_specs(), **opts)
+
     def run():
-        with _make_backend(kind, field) as backend:
-            master = AVCCMaster(
-                backend,
-                SchemeParams(n=N, k=K, s=S, m=M),
-                rng=np.random.default_rng(2),
-            )
-            master.setup(x)
+        with Session.create(config) as sess:
+            sess.load(x)
             outs = []
             for _ in range(ROUNDS):
-                outs.append(master.forward_round(w).vector)
-                outs.append(master.backward_round(e).vector)
-                master.end_iteration()
+                outs.append(sess.submit_matvec(w).result())
+                outs.append(sess.submit_matvec(e, transpose=True).result())
+                sess.end_iteration()
             return outs
 
     outs = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -93,18 +84,18 @@ def test_early_stopping_saves_straggler_tail(benchmark, field, rng, kind):
     x = field.random((600, 300), rng)
     w = field.random(300, rng)
 
+    config = _config(
+        kind,
+        s=2,
+        m=1,
+        workers=_specs(straggler_factor=factor, byzantine_id=None),
+        backend_options={"straggle_scale": scale},
+    )
+
     def run():
-        workers = [
-            SimWorker(i, profile=make_profiles(N, {0: factor})[i], behavior=Honest())
-            for i in range(N)
-        ]
-        cls = ThreadedCluster if kind == "threaded" else ProcessCluster
-        with cls(field, workers, straggle_scale=scale) as backend:
-            master = AVCCMaster(
-                backend, SchemeParams(n=N, k=K, s=2, m=1), rng=np.random.default_rng(3)
-            )
-            master.setup(x)
-            return master.forward_round(w)
+        with Session.create(config) as sess:
+            sess.load(x)
+            return sess.submit_matvec(w).outcome()
 
     out = benchmark.pedantic(run, rounds=1, iterations=1)
     np.testing.assert_array_equal(out.vector, ff_matvec(field, x, w))

@@ -15,37 +15,33 @@ import pytest
 
 from conftest import run_once
 
-from repro.core import CodedMatmulAVCCMaster
+from repro.api import Session, SessionConfig, WorkerSpec
+from repro.coding import SchemeParams
 from repro.ff import ff_matmul
-from repro.runtime import (
-    Honest,
-    RandomAttack,
-    SimCluster,
-    SimWorker,
-    make_profiles,
-)
 
 
-def _cluster(field, n, stragglers=None, behaviors=None):
-    profiles = make_profiles(n, stragglers or {})
-    behaviors = behaviors or {}
-    workers = [
-        SimWorker(i, profile=profiles[i], behavior=behaviors.get(i, Honest()))
-        for i in range(n)
-    ]
-    return SimCluster(field, workers, rng=np.random.default_rng(13))
+def _session(n, stragglers=None, behaviors=None):
+    specs = [WorkerSpec() for _ in range(n)]
+    for wid, factor in (stragglers or {}).items():
+        specs[wid] = WorkerSpec(straggler_factor=factor)
+    for wid in behaviors or ():
+        specs[wid] = WorkerSpec(behavior="random")
+    return Session.create(
+        SessionConfig(
+            scheme=SchemeParams(n=n, k=1, s=1, m=1),
+            master="avcc",
+            seed=13,
+            workers=tuple(specs),
+        )
+    )
 
 
 def test_verified_coded_matmul_end_to_end(benchmark, field, rng):
     a = field.random((240, 200), rng)
     b = field.random((200, 180), rng)
-    cluster = _cluster(
-        field, 9, stragglers={0: 20.0}, behaviors={5: RandomAttack()}
-    )
-    master = CodedMatmulAVCCMaster(cluster, p=2, q=3, s=1, m=1)
-    master.setup(a, b)
-
-    out = run_once(benchmark, master.multiply)
+    with _session(9, stragglers={0: 20.0}, behaviors=(5,)) as sess:
+        out = run_once(benchmark, lambda: sess.submit_matmul(a, b, p=2, q=3).outcome())
+        master_sec_per_mac = sess.backend.cost_model.master_sec_per_mac
     np.testing.assert_array_equal(out.vector, ff_matmul(field, a, b))
     assert out.record.rejected_workers == (5,)
     assert 0 not in out.record.used_workers  # straggler dodged
@@ -54,7 +50,7 @@ def test_verified_coded_matmul_end_to_end(benchmark, field, rng):
     # compute the master would otherwise redo
     r = out.record
     worker_macs = 120 * 200 * 60
-    recompute = worker_macs * cluster.cost_model.master_sec_per_mac * 6
+    recompute = worker_macs * master_sec_per_mac * 6
     assert r.verify_time < 0.5 * recompute
 
 
@@ -65,10 +61,8 @@ def test_partitioning_tradeoff(benchmark, field, rng, pq):
     p, q = pq
     a = field.random((120, 80), rng)
     b = field.random((80, 60), rng)
-    cluster = _cluster(field, p * q + 2)
-    master = CodedMatmulAVCCMaster(cluster, p=p, q=q, s=1, m=1)
-    master.setup(a, b)
-    out = run_once(benchmark, master.multiply)
+    with _session(p * q + 2) as sess:
+        out = run_once(benchmark, lambda: sess.submit_matmul(a, b, p=p, q=q).outcome())
     np.testing.assert_array_equal(out.vector, ff_matmul(field, a, b))
     assert out.record.n_verified == p * q
 

@@ -1,4 +1,5 @@
-"""Coded matrix-matrix multiplication with verification.
+"""Coded matrix-matrix multiplication with verification, through the
+session API.
 
 The generalization the paper sketches in Sec. II/IV: polynomial codes
 (Yu et al.) give straggler-resilient distributed matmul; AVCC's
@@ -8,23 +9,18 @@ stored coded factors.
 
 Computes C = A @ B (240x200 times 200x180) over 9 workers with p=2,
 q=3 partitioning — each worker multiplies a (120x200)x(200x60) pair,
-1/6 of the work — while worker 1 straggles and worker 4 lies.
+1/6 of the work — while worker 1 straggles and worker 4 lies. The
+whole deployment is one ``SessionConfig``; ``submit_matmul`` ships the
+coded factors and runs the verified round.
 
 Run:  python examples/coded_matmul.py
 """
 
 import numpy as np
 
-from repro.core import CodedMatmulAVCCMaster
+from repro.api import Session, SessionConfig, WorkerSpec
+from repro.coding import SchemeParams
 from repro.ff import PrimeField, ff_matmul
-from repro.runtime import (
-    CostModel,
-    Honest,
-    RandomAttack,
-    SimCluster,
-    SimWorker,
-    make_profiles,
-)
 
 
 def main():
@@ -34,31 +30,29 @@ def main():
     b = field.random((200, 180), rng)
 
     n, p, q = 9, 2, 3
-    profiles = make_profiles(n, straggler_factors={1: 12.0})
-    behaviors = {4: RandomAttack()}
-    workers = [
-        SimWorker(i, profile=profiles[i], behavior=behaviors.get(i, Honest()))
-        for i in range(n)
-    ]
-    cluster = SimCluster(
-        field,
-        workers,
-        cost_model=CostModel(worker_sec_per_mac=50e-9),
-        rng=rng,
+    specs = [WorkerSpec() for _ in range(n)]
+    specs[1] = WorkerSpec(straggler_factor=12.0)
+    specs[4] = WorkerSpec(behavior="random")
+    cfg = SessionConfig(
+        scheme=SchemeParams(n=n, k=p * q, s=1, m=1),
+        master="avcc",
+        backend="sim",
+        seed=0,
+        workers=tuple(specs),
+        cost={"worker_sec_per_mac": 50e-9},
     )
-
-    master = CodedMatmulAVCCMaster(cluster, p=p, q=q, s=1, m=1)
-    setup_time = master.setup(a, b)
-    print(f"encoded A into {n} row-combined shares (deg {p - 1}) and B into "
+    print(f"encoding A into {n} row-combined shares (deg {p - 1}) and B into "
           f"{n} column-combined shares (deg {p * (q - 1)})")
     print(f"recovery threshold: p*q = {p * q} verified products; "
-          f"worker budget N >= p*q + S + M = {p * q + 2}")
-    print(f"setup (shipping factors): {setup_time:.3f}s simulated\n")
+          f"worker budget N >= p*q + S + M = {p * q + 2}\n")
 
-    out = master.multiply()
-    np.testing.assert_array_equal(out.vector, ff_matmul(field, a, b))
+    with Session.create(cfg) as sess:
+        out = sess.submit_matmul(a, b, p=p, q=q)
+        c = out.result()
+        r = out.record
 
-    r = out.record
+    np.testing.assert_array_equal(c, ff_matmul(field, a, b))
+
     print(f"round finished at {r.t_end:.4f}s simulated")
     print(f"  used workers:      {list(r.used_workers)}")
     print(f"  rejected (lying):  {list(r.rejected_workers)}")

@@ -15,11 +15,10 @@ Run:  python examples/private_inference.py
 
 import numpy as np
 
+from repro.api import Session, SessionConfig
 from repro.coding import LagrangeCode, SchemeParams
-from repro.core import AVCCMaster
 from repro.ff import PrimeField
 from repro.ml import DistributedLogisticTrainer, LogisticConfig, make_gisette_like
-from repro.runtime import Honest, SimCluster, SimWorker, make_profiles
 
 
 def share_histogram_distance(field, code, data_a, data_b, worker, n_samples, rng):
@@ -60,13 +59,13 @@ def main():
     cfg = LogisticConfig(iterations=10, learning_rate=0.3, l_w=8, l_e=8)
 
     def train(t, n):
-        workers = [SimWorker(i, profile=make_profiles(n)[i], behavior=Honest())
-                   for i in range(n)]
-        cluster = SimCluster(PrimeField(), workers, rng=np.random.default_rng(3))
-        master = AVCCMaster(cluster, SchemeParams(n=n, k=9, s=1, m=1, t=t))
-        master.setup(ds.x_train)
-        trainer = DistributedLogisticTrainer(master, ds, cfg)
-        hist = trainer.train()
+        session_cfg = SessionConfig(
+            scheme=SchemeParams(n=n, k=9, s=1, m=1, t=t), master="avcc", seed=3
+        )
+        with Session.create(session_cfg) as sess:
+            sess.load(ds.x_train)
+            trainer = DistributedLogisticTrainer(sess, ds, cfg)
+            hist = trainer.train()
         return trainer.final_weights, hist
 
     w_plain, h_plain = train(t=0, n=12)

@@ -1,109 +1,103 @@
-"""Quickstart: coded matrix-vector multiplication with stragglers and a
-Byzantine worker, on your choice of execution backend.
+"""Quickstart: verified coded matrix-vector multiplication through the
+high-level Session API, with stragglers and a Byzantine worker, on your
+choice of execution backend.
 
-Walks through the paper's core pipeline in five steps on a toy matrix:
+Five lines is the whole pipeline::
 
-1. encode ``X`` with an (N=6, K=3) MDS/Lagrange code (Fig. 1 scaled up);
-2. generate per-worker Freivalds verification keys (Eqs. 6-7);
-3. run one distributed round on an execution backend with one heavy
-   straggler and one Byzantine worker;
-4. verify results as they arrive, rejecting the forgery (Eqs. 8-10),
-   and cancel the round the moment K results pass — the straggler is
-   never waited for;
-5. decode ``X @ w`` exactly from the fastest K verified results.
+    cfg = SessionConfig(scheme=SchemeParams(n=6, k=3, s=1, m=1), ...)
+    with Session.create(cfg) as sess:
+        sess.load(x)                        # encode + ship shares + keys
+        z = sess.submit_matvec(w).result()  # verified, exact X @ w
 
-Every backend implements the same ``Backend`` protocol, so step 3 is
-the only line that changes between a deterministic simulation and real
-threads or processes.
+Under the hood the session runs the paper's core protocol: Lagrange/MDS
+encoding (Fig. 1), per-worker Freivalds keys (Eqs. 6-7), one
+broadcast-compute-collect round, verification in arrival order with
+Byzantine rejection (Eqs. 8-10), early cancellation the moment K
+results pass, and exact decoding from the fastest K verified results.
+The backend string is the only thing that changes between a
+deterministic simulation and real threads or processes; the
+layer-by-layer wiring remains available for study in `src/repro`.
 
 Run:  python examples/quickstart.py [sim|threaded|process]
+                                    [--seed S] [--n N] [--k K]
 """
 
-import sys
+import argparse
 
 import numpy as np
 
-from repro.coding import LagrangeCode, partition_rows, unpartition_rows
+from repro.api import Session, SessionConfig, WorkerSpec
+from repro.coding import SchemeParams
 from repro.ff import PrimeField, ff_matvec
-from repro.runtime import (
-    Honest,
-    ProcessCluster,
-    ReversedValueAttack,
-    RoundJob,
-    SimCluster,
-    SimWorker,
-    ThreadedCluster,
-    make_profiles,
-)
-from repro.verify import FreivaldsVerifier
 
 
-def make_backend(kind, field, workers, rng):
-    if kind == "sim":
-        return SimCluster(field, workers, rng=rng)
-    if kind == "threaded":
-        return ThreadedCluster(field, workers, straggle_scale=0.05)
-    if kind == "process":
-        return ProcessCluster(field, workers, straggle_scale=0.05)
-    raise SystemExit(f"unknown backend {kind!r}; pick sim, threaded or process")
+def parse_args():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "backend",
+        nargs="?",
+        default="sim",
+        choices=("sim", "threaded", "process"),
+        help="execution backend (default: sim)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="rng seed")
+    parser.add_argument("--n", type=int, default=6, help="workers (code length)")
+    parser.add_argument("--k", type=int, default=3, help="data partitions (code dim)")
+    return parser.parse_args()
 
 
 def main():
-    kind = sys.argv[1] if len(sys.argv) > 1 else "sim"
-    rng = np.random.default_rng(0)
+    args = parse_args()
+    rng = np.random.default_rng(args.seed)
     field = PrimeField()  # the paper's q = 2**25 - 39
-    print(f"backend: {kind}; field: F_q with q = {field.q}")
+    print(f"backend: {args.backend}; field: F_q with q = {field.q}")
 
     # ---- the computation we want: z = X @ w over F_q ----------------
-    m, d, n, k = 12, 8, 6, 3
+    m, d = 4 * args.k, 8
     x = field.random((m, d), rng)
     w = field.random(d, rng)
     expected = ff_matvec(field, x, w)
 
-    # ---- 1) encode ----------------------------------------------------
-    code = LagrangeCode(field, n=n, k=k)
-    blocks = partition_rows(x, k)            # (3, 4, 8) row blocks
-    shares = code.encode(blocks)             # (6, 4, 8) coded shares
-    print(f"encoded {k} blocks into {n} shares (systematic: {code.is_systematic})")
+    # ---- one config describes the whole deployment ------------------
+    # worker 1 straggles 10x, worker 2 sends forged results
+    workers = [WorkerSpec() for _ in range(args.n)]
+    workers[1] = WorkerSpec(straggler_factor=10.0)
+    workers[2] = WorkerSpec(behavior="reverse")
+    cfg = SessionConfig(
+        scheme=SchemeParams(n=args.n, k=args.k, s=1, m=1),
+        master="avcc",
+        backend=args.backend,
+        seed=args.seed,
+        workers=tuple(workers),
+    )
+    print(f"scheme: (N={args.n}, K={args.k}, S=1, M=1) — Eq. (2) "
+          f"needs N >= {cfg.scheme.avcc_required_n}")
 
-    # ---- 2) verification keys ----------------------------------------
-    verifier = FreivaldsVerifier(field)
-    keys = verifier.keygen(shares, rng)
-    print(f"generated {len(keys)} private Freivalds keys "
-          f"(soundness error <= 1/q ~ {1 / field.q:.1e})")
+    # ---- create the service, load data, submit ----------------------
+    with Session.create(cfg) as sess:
+        sess.load(x)   # encode into N shares, ship, generate Freivalds keys
+        handle = sess.submit_matvec(w)
+        z = handle.result()
+        record = handle.record
 
-    # ---- 3) a fleet with one straggler + one Byzantine ----------------
-    profiles = make_profiles(n, straggler_factors={1: 10.0})
-    behaviors = {2: ReversedValueAttack()}   # sends -z instead of z
-    workers = [
-        SimWorker(i, profile=profiles[i], behavior=behaviors.get(i, Honest()))
-        for i in range(n)
-    ]
-    with make_backend(kind, field, workers, rng) as backend:
-        backend.distribute("share", shares)
-        handle = backend.dispatch_round(RoundJob(payload_key="share", operand=w))
+        # ---- what the service did, from its own telemetry -----------
+        print(f"\nround used workers {list(record.used_workers)} "
+              f"({record.n_verified} verified of {record.n_collected} collected)")
+        for wid in record.rejected_workers:
+            print(f"  worker {wid} REJECTED (Byzantine) — forgery caught "
+                  f"by its Freivalds key")
+        unused = [
+            wid for wid in range(args.n)
+            if wid not in record.used_workers and wid not in record.rejected_workers
+        ]
+        if unused:
+            print(f"  worker(s) {unused} never waited for — the round was "
+                  f"cancelled at K verified results (the injected straggler, "
+                  f"worker 1, is among them).")
+        print(sess.stats.summary())
 
-        # ---- 4) verify in arrival order; stop at K verified ----------
-        verified, rejected = [], []
-        for arrival in handle:
-            ok = verifier.check(keys[arrival.worker_id], w, arrival.value)
-            status = "ok" if ok else "REJECTED (Byzantine)"
-            print(f"  worker {arrival.worker_id} arrived at "
-                  f"{arrival.t_arrival * 1e3:7.2f} ms -> {status}")
-            (verified if ok else rejected).append(arrival)
-            if len(verified) == k:
-                handle.cancel()              # no need to wait for more
-                break
-
-    # ---- 5) decode from the fastest K verified -------------------------
-    idx = np.array([a.worker_id for a in verified])
-    vals = np.stack([a.value for a in verified])
-    decoded = unpartition_rows(code.decode(idx, vals))
-
-    assert np.array_equal(decoded, expected)
-    print(f"\ndecoded X@w from workers {idx.tolist()} — bit-exact.")
-    print(f"rejected Byzantine worker(s): {[a.worker_id for a in rejected]}")
-    print("straggler (worker 1) was cancelled, never waited for.")
+    assert np.array_equal(z, expected)
+    print(f"\ndecoded X@w from the fastest {args.k} verified results — bit-exact.")
 
 
 if __name__ == "__main__":

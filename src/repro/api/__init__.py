@@ -1,0 +1,82 @@
+"""The user-facing session API — one sanctioned way in.
+
+The lower layers of this repro (``ff`` → ``coding`` → ``verify`` →
+``runtime`` → ``core``) are deliberately explicit: every experiment can
+reach any seam. But *using* the system should not require hand-wiring
+six layers. This package is the production-shaped front door:
+
+    from repro.api import Session, SessionConfig
+    from repro.coding import SchemeParams
+
+    cfg = SessionConfig(scheme=SchemeParams(n=6, k=3, s=1, m=1))
+    with Session.create(cfg) as sess:
+        sess.load(x)                        # encode, ship shares + keys
+        z = sess.submit_matvec(w).result()  # verified, exact X @ w
+
+Three pieces:
+
+``SessionConfig`` (:mod:`repro.api.config`)
+    One validated, ``to_dict``/``from_dict`` round-trippable object:
+    field prime, ``(N, K, S, M, T)`` scheme, master and backend *names*,
+    per-worker straggler/Byzantine specs, cost-model overrides and the
+    batching window. Configs are plain data — storable in JSON/TOML,
+    shippable across processes.
+
+``Session`` (:mod:`repro.api.session`)
+    A context-managed service over one dataset. ``submit_matvec`` /
+    ``submit_gramian`` / ``submit_matmul`` return future-like
+    :class:`~repro.api.session.JobHandle` objects; concurrently
+    submitted jobs against the same encoded family are **coalesced into
+    a single broadcast round** (one ``RoundJob`` serving many jobs —
+    the heavy-traffic path), and ``session.stats`` surfaces per-round
+    verify/decode/adaptation telemetry.
+
+Registries (:mod:`repro.api.registry`) — the extension point
+    ``Session.create`` resolves backends and masters **by name**
+    through two registries pre-populated with the built-ins
+    (backends ``"sim" | "threaded" | "process"``; masters
+    ``"avcc" | "lcc" | "static_vcc" | "uncoded"``). Third-party code
+    plugs in without touching ``repro`` internals::
+
+        from repro.api import register_backend, register_master
+
+        def my_backend(config, field, workers, rng):   # -> Backend
+            return MyRpcCluster(field, workers, **config.backend_options)
+
+        register_backend("my_rpc", my_backend)
+        Session.create(cfg.with_(backend="my_rpc"))
+
+    A ``BackendFactory`` receives ``(config, field, workers, rng)`` and
+    returns a :class:`~repro.runtime.backend.Backend`; a
+    ``MasterFactory`` receives ``(config, backend, rng)`` and returns a
+    master exposing the coded matvec service. Duplicate names raise
+    unless ``overwrite=True`` — re-binding a built-in is explicit.
+
+The layer-by-layer wiring remains available and importable (the tests
+pin it); this package is sugar plus policy, not a wall.
+"""
+
+from repro.api.config import SessionConfig, WorkerSpec
+from repro.api.registry import (
+    backend_names,
+    master_names,
+    register_backend,
+    register_master,
+    resolve_backend,
+    resolve_master,
+)
+from repro.api.session import JobHandle, Session, SessionStats
+
+__all__ = [
+    "JobHandle",
+    "Session",
+    "SessionConfig",
+    "SessionStats",
+    "WorkerSpec",
+    "backend_names",
+    "master_names",
+    "register_backend",
+    "register_master",
+    "resolve_backend",
+    "resolve_master",
+]

@@ -1,0 +1,417 @@
+"""The high-level session: config in, verified decoded results out.
+
+``Session`` is the sanctioned front door to the coded-computing stack.
+It owns the whole vertical — field, scheme, backend, master, worker
+fleet — built from one :class:`~repro.api.config.SessionConfig`
+through the name registries, and exposes a job-submission surface:
+
+    cfg = SessionConfig(scheme=SchemeParams(n=6, k=3, s=1, m=1))
+    with Session.create(cfg) as sess:
+        sess.load(x)                      # encode + ship shares + keys
+        z = sess.submit_matvec(w).result()   # exact X @ w
+
+Round batching
+--------------
+Submissions return *futures* (:class:`JobHandle`), not results. Jobs
+against the same encoded family accumulate in a per-family queue and
+are **coalesced into a single broadcast round** when the queue is
+flushed (first ``result()`` call, an explicit :meth:`Session.flush`,
+``end_iteration``, or the ``batch_window`` filling up). B concurrent
+jobs then cost one operand broadcast, one straggler exposure, one
+verification sweep and one decode instead of B — the service's
+heavy-traffic path. :attr:`Session.stats` makes the coalescing
+observable (``jobs_per_round``, ``batching_factor``) and aggregates
+the per-round verify/decode/adaptation telemetry from the masters'
+trace records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.api.config import SessionConfig
+from repro.api.registry import resolve_backend, resolve_master
+from repro.core.results import AdaptationOutcome, RoundOutcome
+from repro.runtime.backend import Backend
+from repro.runtime.trace import RoundRecord
+
+__all__ = ["JobHandle", "Session", "SessionStats"]
+
+
+class JobHandle:
+    """Future-like handle for one submitted job.
+
+    ``result()`` forces the session to flush the job's batch (if still
+    pending) and returns the decoded array; ``record`` then exposes the
+    round's timing/accounting (shared by every job the round served).
+    """
+
+    def __init__(self, session: "Session", kind: str, family: str) -> None:
+        self._session = session
+        self.kind = kind
+        self.family = family
+        self._outcome: RoundOutcome | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._outcome is not None or self._error is not None
+
+    def _resolve(self, outcome: RoundOutcome) -> None:
+        self._outcome = outcome
+
+    def _fail(self, exc: BaseException) -> None:
+        self._error = exc
+
+    def outcome(self) -> RoundOutcome:
+        """The full :class:`~repro.core.results.RoundOutcome` (flushes
+        the pending batch on first call)."""
+        if not self.done():
+            self._session.flush(self.family)
+        if self._error is not None:
+            raise self._error
+        assert self._outcome is not None
+        return self._outcome
+
+    def result(self) -> np.ndarray:
+        """The decoded array (vector for matvec/gramian, matrix for
+        matmul)."""
+        return self.outcome().vector
+
+    @property
+    def record(self) -> RoundRecord:
+        """Timing/accounting of the round that served this job."""
+        return self.outcome().record
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "done" if self.done() else "pending"
+        return f"JobHandle({self.kind}:{self.family}, {state})"
+
+
+@dataclass
+class SessionStats:
+    """Aggregated service telemetry, updated live by the session."""
+
+    jobs_submitted: int = 0
+    jobs_served: int = 0
+    rounds_executed: int = 0
+    #: number of jobs each executed round served (len == rounds_executed)
+    jobs_per_round: list[int] = dc_field(default_factory=list)
+    #: one record per executed round, in execution order
+    records: list[RoundRecord] = dc_field(default_factory=list)
+    #: one outcome per end_iteration() call
+    adaptations: list[AdaptationOutcome] = dc_field(default_factory=list)
+
+    @property
+    def batched_jobs(self) -> int:
+        """Jobs that shared their round with at least one other job."""
+        return sum(b for b in self.jobs_per_round if b > 1)
+
+    @property
+    def batching_factor(self) -> float:
+        """Mean jobs per executed round (1.0 = no coalescing)."""
+        if not self.rounds_executed:
+            return 0.0
+        return self.jobs_served / self.rounds_executed
+
+    @property
+    def verify_time(self) -> float:
+        return sum(r.verify_time for r in self.records)
+
+    @property
+    def decode_time(self) -> float:
+        return sum(r.decode_time for r in self.records)
+
+    @property
+    def reencode_time(self) -> float:
+        return sum(a.reencode_time for a in self.adaptations)
+
+    @property
+    def rejected_workers(self) -> tuple[int, ...]:
+        """Workers that ever failed verification, sorted."""
+        return tuple(sorted({w for r in self.records for w in r.rejected_workers}))
+
+    def summary(self) -> str:
+        return (
+            f"{self.jobs_served}/{self.jobs_submitted} jobs served in "
+            f"{self.rounds_executed} rounds "
+            f"(batching x{self.batching_factor:.2f}); "
+            f"verify {self.verify_time:.4f}s, decode {self.decode_time:.4f}s, "
+            f"re-encode {self.reencode_time:.4f}s"
+        )
+
+
+class Session:
+    """A live coded-computing service over one dataset.
+
+    Construct with :meth:`create` (config-driven, owns the backend) or
+    :meth:`from_master` (wraps an already-wired master — how the
+    trainers keep accepting bare masters). Use as a context manager to
+    release backend resources deterministically.
+    """
+
+    def __init__(
+        self,
+        master: Any,
+        *,
+        config: SessionConfig | None = None,
+        owns_backend: bool = False,
+    ) -> None:
+        self.master = master
+        self.backend: Backend = master.backend
+        self.field = master.field
+        self.config = config
+        self.batch_window = (
+            config.batch_window
+            if config
+            else SessionConfig.__dataclass_fields__["batch_window"].default
+        )
+        self._owns_backend = owns_backend
+        self._pending: dict[str, list[tuple[JobHandle, np.ndarray]]] = {}
+        self._stats = SessionStats()
+        self._gramian_master: Any = None
+        self._x: np.ndarray | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, config: SessionConfig) -> "Session":
+        """Build field → workers → backend → master from one config,
+        resolving the backend and master by registry name."""
+        field = config.build_field()
+        workers = config.build_workers()
+        backend = resolve_backend(config.backend)(
+            config, field, workers, config.build_rng()
+        )
+        try:
+            master = resolve_master(config.master)(
+                config, backend, config.build_rng(offset=1)
+            )
+        except BaseException:
+            backend.close()
+            raise
+        return cls(master, config=config, owns_backend=True)
+
+    @classmethod
+    def from_master(cls, master: Any) -> "Session":
+        """Wrap an existing master/backend pair (borrowed — closing the
+        session does not close the backend)."""
+        return cls(master, owns_backend=False)
+
+    # ------------------------------------------------------------------
+    # data
+    # ------------------------------------------------------------------
+    def load(self, x: np.ndarray) -> float:
+        """Encode ``x`` and ship shares/keys; returns the backend-clock
+        seconds spent on distribution."""
+        self._check_open()
+        self._x = self.field.asarray(x)
+        return self.master.setup(self._x)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit_matvec(self, operand: np.ndarray, *, transpose: bool = False) -> JobHandle:
+        """Queue one coded matrix–vector job: ``X @ operand`` (or
+        ``X.T @ operand`` with ``transpose=True``). Jobs for the same
+        family coalesce into one broadcast round at flush time."""
+        self._check_open()
+        family = "bwd" if transpose else "fwd"
+        return self._enqueue("matvec", family, self.field.asarray(operand))
+
+    def submit_gramian(self, w: np.ndarray) -> JobHandle:
+        """Queue one degree-2 job: ``X^T X w`` served by a lazily
+        constructed :class:`~repro.core.gramian.GramianAVCCMaster`
+        sharing this session's backend (requires a scheme feasible at
+        ``deg_f=2``)."""
+        self._check_open()
+        self._ensure_gramian_master()
+        return self._enqueue("gramian", "gram", self.field.asarray(w))
+
+    def submit_matmul(
+        self, a: np.ndarray, b: np.ndarray, *, p: int = 2, q: int = 2
+    ) -> JobHandle:
+        """Run one verified coded matrix–matrix job ``A @ B`` with
+        ``(p, q)`` factor partitioning. Matmul rounds broadcast nothing
+        (factors are pre-shipped at submission), so they execute
+        immediately instead of batching."""
+        self._check_open()
+        from repro.core.matmul import CodedMatmulAVCCMaster
+
+        scheme = self._aux_scheme()
+        s = scheme.s if scheme is not None else 0
+        m = scheme.m if scheme is not None else 0
+        master = CodedMatmulAVCCMaster(
+            self.backend, p=p, q=q, s=s, m=m, probes=self._aux_probes(),
+            rng=self.master.rng,
+        )
+        master.setup(a, b)
+        handle = JobHandle(self, "matmul", "matmul")
+        self._stats.jobs_submitted += 1
+        try:
+            outcome = master.multiply()
+        except BaseException as exc:
+            handle._fail(exc)
+            raise
+        handle._resolve(outcome)
+        self._note_round([handle], outcome.record)
+        return handle
+
+    def _enqueue(self, kind: str, family: str, operand: np.ndarray) -> JobHandle:
+        handle = JobHandle(self, kind, family)
+        self._pending.setdefault(family, []).append((handle, operand))
+        self._stats.jobs_submitted += 1
+        if len(self._pending[family]) >= self.batch_window:
+            self.flush(family)
+        return handle
+
+    # ------------------------------------------------------------------
+    # batching
+    # ------------------------------------------------------------------
+    def flush(self, family: str | None = None) -> None:
+        """Execute pending jobs now — one coalesced round per family.
+
+        ``family=None`` flushes every queue (in first-submission order).
+        """
+        if self._pending:
+            self._check_open()
+        families = [family] if family is not None else list(self._pending)
+        for fam in families:
+            jobs = self._pending.pop(fam, [])
+            if not jobs:
+                continue
+            handles = [h for h, _ in jobs]
+            operands = [op for _, op in jobs]
+            try:
+                if fam == "gram":
+                    outcomes = self._gramian_master.gramian_round_many(operands)
+                else:
+                    outcomes = self.master.round_many(fam, operands)
+            except BaseException as exc:
+                for h in handles:
+                    h._fail(exc)
+                raise
+            for h, out in zip(handles, outcomes):
+                h._resolve(out)
+            self._note_round(handles, outcomes[0].record)
+
+    def _note_round(self, handles: list[JobHandle], record: RoundRecord) -> None:
+        self._stats.rounds_executed += 1
+        self._stats.jobs_per_round.append(len(handles))
+        self._stats.jobs_served += len(handles)
+        self._stats.records.append(record)
+
+    # ------------------------------------------------------------------
+    # iteration boundary / telemetry
+    # ------------------------------------------------------------------
+    def end_iteration(self) -> AdaptationOutcome:
+        """Flush all queues, then run the master's adaptation step
+        (dynamic re-coding for AVCC; bookkeeping otherwise)."""
+        self._check_open()
+        self.flush()
+        if self._gramian_master is not None:
+            self._gramian_master.end_iteration()
+        out = self.master.end_iteration()
+        if out.dropped_workers and self._gramian_master is not None:
+            # the matvec master evicted workers from the shared pool;
+            # the gramian master must stop dispatching to them too
+            self._gramian_master.drop_workers(out.dropped_workers)
+        self._stats.adaptations.append(out)
+        return out
+
+    @property
+    def stats(self) -> SessionStats:
+        return self._stats
+
+    @property
+    def now(self) -> float:
+        """The backend clock (virtual on the simulator, wall otherwise)."""
+        return self.backend.now
+
+    @property
+    def scheme_now(self) -> tuple[int, int]:
+        """The ``(N_t, K_t)`` currently in effect."""
+        return self.master.scheme_now
+
+    def pending_jobs(self) -> int:
+        return sum(len(v) for v in self._pending.values())
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, *, flush: bool = True) -> None:
+        """Release the backend (if owned); by default pending work is
+        flushed first so outstanding handles resolve. With
+        ``flush=False`` (the exception-unwind path) pending jobs are
+        abandoned and their handles fail instead."""
+        if self._closed:
+            return
+        try:
+            if self.pending_jobs():
+                if flush:
+                    self.flush()
+                else:
+                    for jobs in self._pending.values():
+                        for handle, _ in jobs:
+                            handle._fail(
+                                RuntimeError("session closed with pending jobs")
+                            )
+                    self._pending.clear()
+        finally:
+            self._closed = True
+            if self._owns_backend:
+                self.backend.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        # don't run distributed work while the with-body is unwinding
+        # from an exception (and don't mask that exception with a
+        # flush-time failure)
+        self.close(flush=exc[0] is None)
+        return False
+
+    def __iter__(self) -> Iterator[None]:  # pragma: no cover - guard
+        raise TypeError("Session is not iterable; use submit_* handles")
+
+    # ------------------------------------------------------------------
+    def _aux_scheme(self) -> Any:
+        """The SchemeParams auxiliary masters (gramian, matmul) derive
+        their tolerances from: the config's when available, else the
+        primary master's."""
+        if self.config is not None:
+            return self.config.scheme
+        return getattr(self.master, "scheme", None)
+
+    def _aux_probes(self) -> int:
+        if self.config is not None:
+            return self.config.probes
+        return getattr(self.master, "probes", 1)
+
+    def _ensure_gramian_master(self) -> None:
+        if self._gramian_master is not None:
+            return
+        from repro.core.gramian import GramianAVCCMaster
+
+        scheme = self._aux_scheme()
+        if scheme is None:
+            raise ValueError(
+                "submit_gramian needs a SchemeParams; this session's master "
+                f"({type(self.master).__name__}) carries none"
+            )
+        if self._x is None:
+            raise RuntimeError("call session.load(x) before submit_gramian")
+        self._gramian_master = GramianAVCCMaster(
+            self.backend, scheme.with_(deg_f=2), probes=self._aux_probes(),
+            rng=self.master.rng,
+        )
+        self._gramian_master.setup(self._x)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("session is closed")

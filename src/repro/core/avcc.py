@@ -139,12 +139,13 @@ class AVCCMaster(MatvecMasterBase):
             raise RuntimeError("setup() must be called before rounds")
         st = self._family(family)
         operand = st.pad_operand(self.field, operand)
+        width = 1 if operand.ndim == 1 else operand.shape[1]
         handle = self._run_family_round(family, operand)
         keys = self._keys[family]
         need = self._cfg.code.recovery_threshold()
 
         verified, rejected, verify_time, t_verified = self._collect_verified(
-            handle, keys, operand, need
+            handle, keys, operand, need, width=width
         )
         rr = handle.result()
         if len(verified) < need:
@@ -154,7 +155,7 @@ class AVCCMaster(MatvecMasterBase):
 
         positions = [self._code_pos[a.worker_id] for a in verified]
         values = np.stack([a.value for a in verified])
-        block_elems = st.block_rows
+        block_elems = st.block_rows * width
         decode_time = self.cost_model.master_compute_time(
             self.lagrange_decode_macs(need, self._cfg.k, block_elems)
         )
@@ -179,7 +180,9 @@ class AVCCMaster(MatvecMasterBase):
         self.backend.advance_to(t_end)
         return RoundOutcome(vector=vec, record=record)
 
-    def _collect_verified(self, handle: RoundHandle, keys, operand, need: int):
+    def _collect_verified(
+        self, handle: RoundHandle, keys, operand, need: int, width: int = 1
+    ):
         """Consume arrivals in time order, verifying each on the master
         core, until ``need`` results pass — then cancel the round so no
         backend waits on the remaining stragglers. Returns
@@ -193,7 +196,7 @@ class AVCCMaster(MatvecMasterBase):
         for a in handle:
             key = keys[a.worker_id]
             vt = self.cost_model.master_compute_time(
-                self.verifier.check_cost_ops(key)
+                self.verifier.check_cost_ops(key, width)
             )
             start = max(a.t_arrival, master_free)
             master_free = start + vt

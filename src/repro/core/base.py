@@ -65,14 +65,21 @@ class FamilyState:
 
     def pad_operand(self, field, operand: np.ndarray) -> np.ndarray:
         """Zero-extend a true-length operand to the broadcast length
-        (masters accept unpadded operands; padding is internal)."""
+        (masters accept unpadded operands; padding is internal).
+
+        Accepts a single vector or a ``(len, B)`` batch of ``B``
+        operands stacked along the trailing axis."""
         operand = field.asarray(operand)
-        if operand.shape == (self.operand_len,):
-            return operand
-        if operand.shape == (self.operand_true_len,):
-            return np.concatenate(
-                [operand, field.zeros(self.operand_len - self.operand_true_len)]
+        if operand.ndim not in (1, 2):
+            raise ValueError(
+                f"{self.name} operand must be 1-D or 2-D, got shape {operand.shape}"
             )
+        length = operand.shape[0]
+        if length == self.operand_len:
+            return operand
+        if length == self.operand_true_len:
+            pad_shape = (self.operand_len - self.operand_true_len,) + operand.shape[1:]
+            return np.concatenate([operand, field.zeros(pad_shape)])
         raise ValueError(
             f"{self.name} operand must have length {self.operand_true_len} "
             f"(or padded {self.operand_len}), got {operand.shape}"
@@ -89,18 +96,21 @@ class MatvecMasterBase:
 
     name = "base"
 
-    #: a worker is observed as a straggler when its arrival latency
-    #: exceeds this multiple of the round's median latency. The paper
-    #: does not specify its detector; a robust median-ratio test flags
+    #: latency-ratio threshold of the *exact-timing* straggler detector:
+    #: on backends with a virtual clock (``timing_is_exact`` — the
+    #: simulator), a worker is observed as a straggler when its arrival
+    #: latency exceeds this multiple of the round's median latency. The
+    #: paper does not specify its detector; the median-ratio test flags
     #: exactly the "order of magnitude" slowdowns it describes while
-    #: ignoring benign jitter.
+    #: ignoring benign jitter. Wall-clock backends (threads, processes)
+    #: do **not** use this ratio at all — OS scheduling jitter would
+    #: masquerade as straggling there, so they observe a straggler as a
+    #: worker whose results went unused in *every* round of the
+    #: iteration (see :meth:`_note_stragglers`).
     straggler_ratio = 2.0
 
     def __init__(self, backend: Backend, rng: np.random.Generator | None = None):
         self.backend = backend
-        #: legacy alias — the trainers and older call sites say
-        #: ``master.cluster``; it is the same object as ``backend``
-        self.cluster = backend
         self.field: PrimeField = backend.field
         self.cost_model = backend.cost_model
         self.rng = rng or np.random.default_rng(0)
@@ -116,6 +126,23 @@ class MatvecMasterBase:
     # ------------------------------------------------------------------
     # helpers for subclasses
     # ------------------------------------------------------------------
+    @property
+    def cluster(self) -> Backend:
+        """Deprecated alias for :attr:`backend`.
+
+        .. deprecated:: 0.3
+           Use ``master.backend``; this alias predates the pluggable
+           Backend protocol and will be removed.
+        """
+        import warnings
+
+        warnings.warn(
+            "master.cluster is deprecated; use master.backend",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.backend
+
     def _position_of(self, worker_id: int) -> int:
         """Code position (index into alpha points) of a worker."""
         return self.active.index(worker_id)
@@ -129,7 +156,7 @@ class MatvecMasterBase:
     def _run_family_round(self, family: str, operand: np.ndarray) -> RoundHandle:
         st = self._family(family)
         operand = self.field.asarray(operand)
-        if operand.shape != (st.operand_len,):
+        if operand.shape[0] != st.operand_len or operand.ndim not in (1, 2):
             raise ValueError(
                 f"{family} operand must have length {st.operand_len}, got {operand.shape}"
             )
@@ -250,6 +277,38 @@ class MatvecMasterBase:
 
     def backward_round(self, e):
         return self._round("bwd", e)
+
+    def round_many(self, family: str, operands: Sequence[np.ndarray]):
+        """Serve many same-family jobs in **one** broadcast round.
+
+        The operands are stacked into a single ``(len, B)`` batch, one
+        :class:`~repro.runtime.backend.RoundJob` is dispatched, workers
+        compute all products in one pass, verification checks each
+        worker's whole batch with one probe application, and a single
+        decode recovers every job. Returns one
+        :class:`~repro.core.results.RoundOutcome` per operand, in
+        submission order; they share the round's record.
+
+        This is the session layer's heavy-traffic path: B jobs cost one
+        broadcast, one arrival wait and one straggler exposure instead
+        of B.
+        """
+        from repro.core.results import RoundOutcome
+
+        ops = list(operands)
+        if not ops:
+            return []
+        if len(ops) == 1:
+            return [self._round(family, ops[0])]
+        st = self._family(family)
+        batch = np.stack(
+            [st.pad_operand(self.field, op) for op in ops], axis=1
+        )
+        out = self._round(family, batch)
+        return [
+            RoundOutcome(vector=out.vector[:, j], record=out.record)
+            for j in range(len(ops))
+        ]
 
     def _round(self, family: str, operand):  # pragma: no cover - abstract
         raise NotImplementedError

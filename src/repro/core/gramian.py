@@ -57,6 +57,7 @@ class GramianAVCCMaster(MatvecMasterBase):
         self.verifier = TwoStageVerifier(self.field, probes=probes)
         self._code: LagrangeCode | None = None
         self._keys = None
+        self._code_pos: dict[int, int] = {}
         self._m = 0
         self._m_pad = 0
         self._d = 0
@@ -82,21 +83,56 @@ class GramianAVCCMaster(MatvecMasterBase):
             wid: self.verifier.keygen_single(shares[slot], self.rng)
             for slot, wid in enumerate(self.active)
         }
+        # code position (alpha index) of each worker, frozen at encoding
+        # time — stays valid when workers are later dropped
+        self._code_pos = {wid: slot for slot, wid in enumerate(self.active)}
         return self.backend.now - t0
+
+    def drop_workers(self, worker_ids) -> None:
+        """Stop dispatching to ``worker_ids`` (e.g. Byzantine workers the
+        matvec master evicted): their redundancy is spent, the code is
+        unchanged. The backend pool itself is managed by the caller."""
+        dead = set(int(w) for w in worker_ids)
+        self.active = [w for w in self.active if w not in dead]
+        if self._keys is not None:
+            self._keys = {w: k for w, k in self._keys.items() if w not in dead}
+        self._code_pos = {
+            w: p for w, p in getattr(self, "_code_pos", {}).items() if w not in dead
+        }
 
     @property
     def scheme_now(self) -> tuple[int, int]:
         return (len(self.active), self.scheme.k)
 
     # ------------------------------------------------------------------
+    def gramian_round_many(self, operands) -> list[RoundOutcome]:
+        """Serve many gramian jobs in one broadcast round (the batched
+        analogue of :meth:`MatvecMasterBase.round_many`): operands are
+        stacked into a ``(d, B)`` batch, each worker returns its
+        ``concat(z, g)`` for all columns, and one decode recovers every
+        job. Outcomes share the round's record."""
+        ops = [self.field.asarray(w) for w in operands]
+        if not ops:
+            return []
+        if len(ops) == 1:
+            return [self.gramian_round(ops[0])]
+        out = self.gramian_round(np.stack(ops, axis=1))
+        return [
+            RoundOutcome(vector=out.vector[:, j], record=out.record)
+            for j in range(len(ops))
+        ]
+
     def gramian_round(self, w) -> RoundOutcome:
-        """One coded round computing ``X^T X w`` (padding-transparent)."""
+        """One coded round computing ``X^T X w`` (padding-transparent).
+
+        Accepts a single length-``d`` operand or a ``(d, B)`` batch."""
         if self._code is None:
             raise RuntimeError("setup() must be called before rounds")
         field = self.field
         w = field.asarray(w)
-        if w.shape != (self._d,):
+        if w.ndim not in (1, 2) or w.shape[0] != self._d:
             raise ValueError(f"operand must have length {self._d}, got {w.shape}")
+        width = 1 if w.ndim == 1 else w.shape[1]
         b = self._m_pad // self.scheme.k
         d = self._d
 
@@ -112,7 +148,7 @@ class GramianAVCCMaster(MatvecMasterBase):
         for a in handle:
             key = self._keys[a.worker_id]
             vt = self.cost_model.master_compute_time(
-                self.verifier.check_cost_ops(key)
+                self.verifier.check_cost_ops(key, width)
             )
             start = max(a.t_arrival, master_free)
             master_free = start + vt
@@ -132,12 +168,12 @@ class GramianAVCCMaster(MatvecMasterBase):
                 f"gramian round: {len(verified)} verified results, need {need}"
             )
 
-        positions = np.asarray([self.active.index(a.worker_id) for a in verified])
+        positions = np.asarray([self._code_pos[a.worker_id] for a in verified])
         g_vals = np.stack([a.value[b:] for a in verified])
         decode_time = self.cost_model.master_compute_time(
-            self.lagrange_decode_macs(need, self.scheme.k, d)
+            self.lagrange_decode_macs(need, self.scheme.k, d * width)
         )
-        blocks = self._code.decode(positions, g_vals, deg_f=2)   # (k, d)
+        blocks = self._code.decode(positions, g_vals, deg_f=2)   # (k, d[, B])
         g = blocks.sum(axis=0) % field.q
 
         t_end = t_done + decode_time

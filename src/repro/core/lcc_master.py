@@ -84,6 +84,7 @@ class LCCMaster(MatvecMasterBase):
             raise RuntimeError("setup() must be called before rounds")
         st = self._family(family)
         operand = st.pad_operand(self.field, operand)
+        width = 1 if operand.ndim == 1 else operand.shape[1]
         handle = self._run_family_round(family, operand)
 
         need = self._cfg.code.recovery_threshold()
@@ -108,8 +109,8 @@ class LCCMaster(MatvecMasterBase):
         degree = self._cfg.k + self.scheme.t - 1
         budget = min(self.scheme.m, (len(collected) - need) // 2)
         decode_macs = self.bw_decode_macs(
-            len(collected), degree, budget, st.block_rows
-        ) + self.lagrange_decode_macs(need, self._cfg.k, st.block_rows)
+            len(collected), degree, budget, st.block_rows * width
+        ) + self.lagrange_decode_macs(need, self._cfg.k, st.block_rows * width)
         decode_time = self.cost_model.master_compute_time(decode_macs)
 
         rejected: list[int] = []

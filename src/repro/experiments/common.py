@@ -1,4 +1,12 @@
-"""Shared experiment configuration, cluster builders and run drivers.
+"""Shared experiment configuration and run drivers.
+
+All cluster/master construction goes through the session API
+(:mod:`repro.api`): scenarios are described as
+:class:`~repro.api.config.SessionConfig` objects (worker fault specs,
+scheme, cost constants) and materialized by the name registries. The
+legacy ``build_cluster`` / ``make_master`` helpers survive as thin
+shims over the same path for tests and notebooks that want the layers
+separately.
 
 Calibration
 -----------
@@ -28,24 +36,21 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.api import Session, SessionConfig, WorkerSpec, resolve_backend, resolve_master
 from repro.coding import SchemeParams
-from repro.core import AVCCMaster, LCCMaster, StaticVCCMaster, UncodedMaster
-from repro.ff import DEFAULT_PRIME, PrimeField
+from repro.ff import DEFAULT_PRIME
 from repro.ml import Dataset, DistributedLogisticTrainer, LogisticConfig, make_gisette_like
 from repro.ml.trainer import TrainingHistory
-from repro.runtime import (
-    ConstantAttack,
-    CostModel,
-    Honest,
-    IntermittentAttack,
-    ReversedValueAttack,
-    SimCluster,
-    SimWorker,
-    TraceRecorder,
-    make_profiles,
-)
+from repro.runtime import CostModel, SimCluster, TraceRecorder
 
-__all__ = ["ExperimentConfig", "build_cluster", "make_master", "run_training"]
+__all__ = [
+    "ExperimentConfig",
+    "build_cluster",
+    "make_master",
+    "make_session",
+    "run_training",
+    "scenario_config",
+]
 
 
 @dataclass(frozen=True)
@@ -80,12 +85,16 @@ class ExperimentConfig:
     full_scale: bool = False
 
     def cost_model(self) -> CostModel:
-        return CostModel(
-            worker_sec_per_mac=self.worker_sec_per_mac,
-            master_sec_per_mac=self.master_sec_per_mac,
-            bandwidth_bytes_per_s=self.bandwidth_bytes_per_s,
-            link_latency_s=self.link_latency_s,
-        )
+        return CostModel(**self.cost_dict())
+
+    def cost_dict(self) -> dict[str, float]:
+        """The cost constants as :class:`SessionConfig` overrides."""
+        return {
+            "worker_sec_per_mac": self.worker_sec_per_mac,
+            "master_sec_per_mac": self.master_sec_per_mac,
+            "bandwidth_bytes_per_s": self.bandwidth_bytes_per_s,
+            "link_latency_s": self.link_latency_s,
+        }
 
     def dataset(self) -> Dataset:
         if self.full_scale:
@@ -109,32 +118,27 @@ class ExperimentConfig:
         return replace(self, **changes)
 
 
-def _attack(kind: str):
-    if kind == "reverse":
-        return ReversedValueAttack(c=1)
-    if kind == "constant":
-        return ConstantAttack(value=30_000)
-    raise ValueError(f"unknown attack kind {kind!r} (use 'reverse' or 'constant')")
+_ATTACKS = ("reverse", "constant")
 
 
-def build_cluster(
+def _worker_specs(
     cfg: ExperimentConfig,
     n_stragglers: int,
     n_byzantine: int,
-    attack: str = "reverse",
-    *,
-    intermittent: bool = True,
-    straggler_ids: tuple[int, ...] | None = None,
-    byzantine_ids: tuple[int, ...] | None = None,
-    seed_offset: int = 0,
-) -> SimCluster:
-    """Assemble the worker fleet for one scenario.
+    attack: str,
+    intermittent: bool,
+    straggler_ids: tuple[int, ...] | None,
+    byzantine_ids: tuple[int, ...] | None,
+) -> tuple[WorkerSpec, ...]:
+    """Fault placement for one scenario.
 
-    Straggler and Byzantine workers are placed inside the first 9
-    worker slots by default so the uncoded baseline (which uses workers
-    ``0..8``) is exposed to them, as in the paper's deployment.
+    Straggler and Byzantine workers sit inside the first 9 worker slots
+    by default so the uncoded baseline (workers ``0..8``) is exposed to
+    them, as in the paper's deployment.
     """
     n = cfg.n_workers
+    if attack not in _ATTACKS:
+        raise ValueError(f"unknown attack kind {attack!r} (use 'reverse' or 'constant')")
     if n_stragglers > len(cfg.straggler_factors):
         raise ValueError(
             f"need {n_stragglers} straggler factors, have {len(cfg.straggler_factors)}"
@@ -146,47 +150,129 @@ def build_cluster(
     if set(straggler_ids) & set(byzantine_ids):
         raise ValueError("a worker cannot be both straggler and Byzantine here")
 
-    factors = {
-        wid: cfg.straggler_factors[i] for i, wid in enumerate(straggler_ids)
-    }
-    profiles = make_profiles(n, factors)
-    behaviors = {}
-    for wid in byzantine_ids:
-        inner = _attack(attack)
-        behaviors[wid] = (
-            IntermittentAttack(inner, probability=cfg.attack_probability)
-            if intermittent
-            else inner
-        )
-    workers = [
-        SimWorker(i, profile=profiles[i], behavior=behaviors.get(i, Honest()))
-        for i in range(n)
-    ]
-    field_obj = PrimeField(DEFAULT_PRIME)
-    return SimCluster(
-        field_obj,
-        workers,
-        cost_model=cfg.cost_model(),
-        rng=np.random.default_rng(cfg.seed + seed_offset),
-    )
+    factors = {wid: cfg.straggler_factors[i] for i, wid in enumerate(straggler_ids)}
+    attack_value = 1 if attack == "reverse" else 30_000
+    probability = cfg.attack_probability if intermittent else 1.0
+    specs = []
+    for wid in range(n):
+        if wid in byzantine_ids:
+            specs.append(
+                WorkerSpec(
+                    straggler_factor=factors.get(wid, 1.0),
+                    behavior=attack,
+                    attack_value=attack_value,
+                    probability=probability,
+                )
+            )
+        else:
+            specs.append(WorkerSpec(straggler_factor=factors.get(wid, 1.0)))
+    return tuple(specs)
 
 
-def make_master(method: str, cluster: SimCluster, cfg: ExperimentConfig, s: int, m: int):
-    """Instantiate a master by name with the paper's deployments.
+def _scheme(method: str, cfg: ExperimentConfig, s: int, m: int) -> SchemeParams:
+    """The paper's deployments, by method.
 
     LCC always uses the paper's baseline design ``(12, 9, S=1, M=1)``
     regardless of the actual fault injection — that mismatch is the
     point of Fig. 3(b)/(d).
     """
-    if method == "avcc":
-        return AVCCMaster(cluster, SchemeParams(n=cfg.n_workers, k=cfg.k, s=s, m=m))
-    if method == "static_vcc":
-        return StaticVCCMaster(cluster, SchemeParams(n=cfg.n_workers, k=cfg.k, s=s, m=m))
+    if method in ("avcc", "static_vcc"):
+        return SchemeParams(n=cfg.n_workers, k=cfg.k, s=s, m=m)
     if method == "lcc":
-        return LCCMaster(cluster, SchemeParams(n=cfg.n_workers, k=cfg.k, s=1, m=1))
+        return SchemeParams(n=cfg.n_workers, k=cfg.k, s=1, m=1)
     if method == "uncoded":
-        return UncodedMaster(cluster, k=cfg.k)
+        return SchemeParams(n=cfg.n_workers, k=cfg.k)
     raise ValueError(f"unknown method {method!r}")
+
+
+def scenario_config(
+    method: str,
+    cfg: ExperimentConfig,
+    *,
+    s: int,
+    m: int,
+    n_stragglers: int | None = None,
+    n_byzantine: int | None = None,
+    attack: str = "reverse",
+    intermittent: bool = True,
+    straggler_ids: tuple[int, ...] | None = None,
+    byzantine_ids: tuple[int, ...] | None = None,
+    seed_offset: int = 0,
+) -> SessionConfig:
+    """One scenario as a declarative :class:`SessionConfig`.
+
+    ``s``/``m`` parameterize the deployed scheme; ``n_stragglers`` /
+    ``n_byzantine`` the *actual* fault injection (defaulting to the
+    scheme's design point — Fig. 5 deliberately exceeds it).
+    """
+    specs = _worker_specs(
+        cfg,
+        n_stragglers if n_stragglers is not None else s,
+        n_byzantine if n_byzantine is not None else m,
+        attack,
+        intermittent,
+        straggler_ids,
+        byzantine_ids,
+    )
+    return SessionConfig(
+        scheme=_scheme(method, cfg, s, m),
+        master=method,
+        backend="sim",
+        prime=DEFAULT_PRIME,
+        seed=cfg.seed + seed_offset,
+        workers=specs,
+        cost=cfg.cost_dict(),
+    )
+
+
+def make_session(method: str, cfg: ExperimentConfig, **scenario) -> Session:
+    """Stand up a ready session for one scenario (shares not yet
+    loaded — call ``session.load(x)``)."""
+    return Session.create(scenario_config(method, cfg, **scenario))
+
+
+# ----------------------------------------------------------------------
+# legacy layer-by-layer shims (delegate to the api builders)
+# ----------------------------------------------------------------------
+def build_cluster(
+    cfg: ExperimentConfig,
+    n_stragglers: int,
+    n_byzantine: int,
+    attack: str = "reverse",
+    *,
+    intermittent: bool = True,
+    straggler_ids: tuple[int, ...] | None = None,
+    byzantine_ids: tuple[int, ...] | None = None,
+    seed_offset: int = 0,
+) -> SimCluster:
+    """Assemble the simulated worker fleet for one scenario."""
+    config = scenario_config(
+        "avcc",
+        cfg,
+        s=n_stragglers,
+        m=n_byzantine,
+        n_stragglers=n_stragglers,
+        n_byzantine=n_byzantine,
+        attack=attack,
+        intermittent=intermittent,
+        straggler_ids=straggler_ids,
+        byzantine_ids=byzantine_ids,
+        seed_offset=seed_offset,
+    )
+    return resolve_backend("sim")(
+        config, config.build_field(), config.build_workers(), config.build_rng()
+    )
+
+
+def make_master(method: str, cluster: SimCluster, cfg: ExperimentConfig, s: int, m: int):
+    """Instantiate a master by name on an existing backend."""
+    config = SessionConfig(
+        scheme=_scheme(method, cfg, s, m),
+        master=method,
+        seed=cfg.seed,
+        cost=cfg.cost_dict(),
+    )
+    return resolve_master(method)(config, cluster, config.build_rng(offset=1))
 
 
 def run_training(
@@ -202,18 +288,18 @@ def run_training(
     byzantine_ids: tuple[int, ...] | None = None,
 ) -> tuple[TrainingHistory, TraceRecorder]:
     """Train one method through one scenario; returns history + trace."""
-    cluster = build_cluster(
+    with make_session(
+        method,
         cfg,
-        n_stragglers=s,
-        n_byzantine=m,
+        s=s,
+        m=m,
         attack=attack,
         intermittent=intermittent,
         straggler_ids=straggler_ids,
         byzantine_ids=byzantine_ids,
-    )
-    master = make_master(method, cluster, cfg, s=s, m=m)
-    master.setup(dataset.x_train)
-    recorder = TraceRecorder()
-    trainer = DistributedLogisticTrainer(master, dataset, cfg.logistic_config())
-    history = trainer.train(recorder)
+    ) as session:
+        session.load(dataset.x_train)
+        recorder = TraceRecorder()
+        trainer = DistributedLogisticTrainer(session, dataset, cfg.logistic_config())
+        history = trainer.train(recorder)
     return history, recorder

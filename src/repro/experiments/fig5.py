@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import ExperimentConfig, build_cluster, make_master
+from repro.experiments.common import ExperimentConfig, make_session
 from repro.experiments.report import format_table
 from repro.ml import DistributedLogisticTrainer
 from repro.ml.trainer import TrainingHistory
@@ -63,17 +63,19 @@ def run_fig5(cfg: ExperimentConfig | None = None) -> Fig5Result:
 
     histories = {}
     for method in ("avcc", "static_vcc"):
-        cluster = build_cluster(
+        with make_session(
+            method,
             cfg,
+            s=2,
+            m=1,
             n_stragglers=3,
             n_byzantine=1,
             attack="constant",
             intermittent=False,  # persistent faults, as in the paper's scenario
-        )
-        master = make_master(method, cluster, cfg, s=2, m=1)
-        master.setup(dataset.x_train)
-        trainer = DistributedLogisticTrainer(master, dataset, cfg.logistic_config())
-        histories[method] = trainer.train(TraceRecorder())
+        ) as session:
+            session.load(dataset.x_train)
+            trainer = DistributedLogisticTrainer(session, dataset, cfg.logistic_config())
+            histories[method] = trainer.train(TraceRecorder())
 
     avcc = histories["avcc"]
     static = histories["static_vcc"]

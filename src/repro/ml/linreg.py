@@ -35,13 +35,21 @@ class LinRegConfig:
 
 
 class DistributedLinearRegressionTrainer:
-    """Same drive loop as logistic regression, squared loss instead."""
+    """Same drive loop as logistic regression, squared loss instead.
 
-    def __init__(self, master, dataset: Dataset, config: LinRegConfig | None = None):
-        self.master = master
+    Accepts a :class:`repro.api.Session` or a bare master (wrapped in a
+    session transparently)."""
+
+    def __init__(self, service, dataset: Dataset, config: LinRegConfig | None = None):
+        from repro.api.session import Session
+
+        self.session = (
+            service if isinstance(service, Session) else Session.from_master(service)
+        )
+        self.master = self.session.master
         self.dataset = dataset
         self.config = config or LinRegConfig()
-        self.field = master.field
+        self.field = self.session.field
         self.qw = Quantizer(self.field, self.config.l_w)
         self.qe = Quantizer(self.field, self.config.l_e)
         self._budget = OverflowBudget(self.field)
@@ -56,7 +64,7 @@ class DistributedLinearRegressionTrainer:
         m = ds.m
         w = np.zeros(ds.d, dtype=np.float64)
         history = TrainingHistory(method=self.master.name)
-        t0 = self.master.cluster.now
+        t0 = self.session.now
 
         for it in range(cfg.iterations):
             x_max = ds.max_feature()
@@ -70,13 +78,13 @@ class DistributedLinearRegressionTrainer:
             )
 
             w_q = self.qw.quantize(w)
-            out1 = self.master.forward_round(w_q)
-            z = self.qw.dequantize(out1.vector)
+            out1 = self.session.submit_matvec(w_q)
+            z = self.qw.dequantize(out1.result())
             e = np.clip(z - ds.y_train, -cfg.residual_clip, cfg.residual_clip)
 
             e_q = self.qe.quantize(e)
-            out2 = self.master.backward_round(e_q)
-            g = self.qe.dequantize(out2.vector)
+            out2 = self.session.submit_matvec(e_q, transpose=True)
+            g = self.qe.dequantize(out2.result())
 
             grad = g / m
             if cfg.grad_clip is not None:
@@ -85,8 +93,8 @@ class DistributedLinearRegressionTrainer:
                     grad = grad * (cfg.grad_clip / norm)
             w = w - cfg.learning_rate * grad
 
-            adapt = self.master.end_iteration()
-            t_iter_end = self.master.cluster.now
+            adapt = self.session.end_iteration()
+            t_iter_end = self.session.now
 
             history.times.append(t_iter_end - t0)
             # for regression, "accuracy" slots hold negative MSE so the

@@ -50,8 +50,13 @@ class LogisticConfig:
 
 
 class DistributedLogisticTrainer:
-    """Drives any master (AVCC / LCC / uncoded / Static VCC) through the
-    two-round protocol and records accuracy-vs-simulated-time curves.
+    """Drives a coded-computing service through the two-round protocol
+    and records accuracy-vs-simulated-time curves.
+
+    Accepts either a :class:`repro.api.Session` (the sanctioned path)
+    or a bare master (AVCC / LCC / uncoded / Static VCC), which is
+    wrapped in a session transparently; all round traffic flows through
+    the session's submission API either way.
 
     ``activation`` defaults to the exact logistic function; pass a
     :class:`repro.ml.polyapprox.PolynomialSigmoid` to explore the
@@ -61,16 +66,21 @@ class DistributedLogisticTrainer:
 
     def __init__(
         self,
-        master,
+        service,
         dataset: Dataset,
         config: LogisticConfig | None = None,
         activation=None,
     ):
-        self.master = master
+        from repro.api.session import Session
+
+        self.session = (
+            service if isinstance(service, Session) else Session.from_master(service)
+        )
+        self.master = self.session.master
         self.dataset = dataset
         self.config = config or LogisticConfig()
         self.activation = activation or sigmoid
-        self.field = master.field
+        self.field = self.session.field
         self.qw = Quantizer(self.field, self.config.l_w)
         self.qe = Quantizer(self.field, self.config.l_e)
         self._budget = OverflowBudget(self.field)
@@ -94,7 +104,7 @@ class DistributedLogisticTrainer:
         m = ds.m
         w = np.zeros(ds.d, dtype=np.float64)
         history = TrainingHistory(method=self.master.name)
-        t0 = self.master.cluster.now
+        t0 = self.session.now
 
         for it in range(cfg.iterations):
             if cfg.check_overflow:
@@ -103,15 +113,15 @@ class DistributedLogisticTrainer:
 
             # ---- round 1: z = X w ----------------------------------
             w_q = self.qw.quantize(w)
-            out1 = self.master.forward_round(w_q)
-            z = self.qw.dequantize(out1.vector)      # scale 2^{-l_w}
+            out1 = self.session.submit_matvec(w_q)
+            z = self.qw.dequantize(out1.result())    # scale 2^{-l_w}
             p = self.activation(z)
             e = p - ds.y_train
 
             # ---- round 2: g = X^T e --------------------------------
             e_q = self.qe.quantize(e)
-            out2 = self.master.backward_round(e_q)
-            g = self.qe.dequantize(out2.vector)      # scale 2^{-l_e}
+            out2 = self.session.submit_matvec(e_q, transpose=True)
+            g = self.qe.dequantize(out2.result())    # scale 2^{-l_e}
 
             grad = g / m
             if cfg.grad_clip is not None:
@@ -121,10 +131,10 @@ class DistributedLogisticTrainer:
             w = w - cfg.learning_rate * grad
 
             # ---- bookkeeping ---------------------------------------
-            # end_iteration() advances the cluster clock itself when it
-            # re-ships shares, so cluster.now already includes the cost.
-            adapt = self.master.end_iteration()
-            t_iter_end = self.master.cluster.now
+            # end_iteration() advances the backend clock itself when it
+            # re-ships shares, so session.now already includes the cost.
+            adapt = self.session.end_iteration()
+            t_iter_end = self.session.now
 
             p_train = sigmoid(ds.x_train @ w)
             p_test = sigmoid(ds.x_test @ w)

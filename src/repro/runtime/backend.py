@@ -100,13 +100,17 @@ class RoundJob:
     Three operations cover every master in the repo:
 
     * ``op="matvec"`` — each worker computes ``payload[payload_key] @
-      operand`` over the field; the operand is broadcast.
+      operand`` over the field; the operand is broadcast. A 2-D operand
+      ``(d, B)`` is a *batch* of ``B`` vectors coalesced into one round
+      (the session layer's multi-job broadcast); the worker returns the
+      stacked products ``(b, B)``.
     * ``op="matmul"`` — each worker multiplies two pre-shipped factors
       ``payload[payload_key] @ payload[rhs_key]``; nothing is
       broadcast (the round is a trigger).
     * ``op="gramian"`` — the degree-2 workload: with ``S =
       payload[payload_key]`` the worker returns ``concat(S @ operand,
-      S.T @ (S @ operand))``.
+      S.T @ (S @ operand))``. Batched operands stack the same way
+      along a trailing axis.
 
     Jobs carry data, not closures, so any backend — including one in a
     different address space — can execute them.
@@ -120,8 +124,14 @@ class RoundJob:
     def __post_init__(self):
         if self.op not in ("matvec", "matmul", "gramian"):
             raise ValueError(f"unknown round op {self.op!r}")
-        if self.op in ("matvec", "gramian") and self.operand is None:
-            raise ValueError(f"{self.op} jobs need an operand")
+        if self.op in ("matvec", "gramian"):
+            if self.operand is None:
+                raise ValueError(f"{self.op} jobs need an operand")
+            if np.asarray(self.operand).ndim not in (1, 2):
+                raise ValueError(
+                    f"{self.op} operand must be a vector or a (len, batch) "
+                    f"matrix, got shape {np.asarray(self.operand).shape}"
+                )
         if self.op == "matmul" and self.rhs_key is None:
             raise ValueError("matmul jobs need an rhs_key")
 
@@ -129,15 +139,27 @@ class RoundJob:
         """Field elements the master ships to each participant."""
         return int(self.operand.size) if self.operand is not None else 0
 
+    def batch_width(self) -> int:
+        """Number of coalesced jobs this round serves (columns of a
+        2-D operand; 1 for the plain vector case)."""
+        if self.operand is None or self.operand.ndim == 1:
+            return 1
+        return int(self.operand.shape[1])
+
 
 def run_job_compute(
     field: PrimeField, payload: dict[str, Any], job: RoundJob
 ) -> np.ndarray:
     """Execute a job's honest computation over one worker's payload."""
     if job.op == "matvec":
+        if job.operand.ndim == 2:
+            return ff_matmul(field, payload[job.payload_key], job.operand)
         return ff_matvec(field, payload[job.payload_key], job.operand)
     if job.op == "gramian":
         share = payload[job.payload_key]
+        if job.operand.ndim == 2:
+            z = ff_matmul(field, share, job.operand)
+            return np.concatenate([z, ff_matmul(field, share.T, z)], axis=0)
         z = ff_matvec(field, share, job.operand)
         return np.concatenate([z, ff_matvec(field, share.T, z)])
     return ff_matmul(field, payload[job.payload_key], payload[job.rhs_key])
@@ -147,9 +169,9 @@ def job_macs(payload: dict[str, Any], job: RoundJob) -> int:
     """Multiply-accumulate count of a job at one worker (drives the
     simulator's timing; real backends just measure)."""
     if job.op == "matvec":
-        return int(np.asarray(payload[job.payload_key]).size)
+        return int(np.asarray(payload[job.payload_key]).size) * job.batch_width()
     if job.op == "gramian":
-        return 2 * int(np.asarray(payload[job.payload_key]).size)
+        return 2 * int(np.asarray(payload[job.payload_key]).size) * job.batch_width()
     a = np.asarray(payload[job.payload_key])
     b = np.asarray(payload[job.rhs_key])
     return int(a.shape[0] * a.shape[1] * b.shape[1])

@@ -104,30 +104,50 @@ class FreivaldsVerifier:
         """Integrity check (Eq. 8/9): accept iff ``r·claimed == s·operand``.
 
         ``operand`` is the broadcast vector (``w`` or ``e``), ``claimed``
-        the worker's returned product.
+        the worker's returned product. Batched rounds pass a 2-D
+        ``(d, B)`` operand and the worker's stacked ``(b, B)`` products;
+        all ``B`` columns are checked in one probe application (the
+        soundness bound ``q^{-p}`` holds per column, hence for the
+        conjunction too), and the check accepts only when every column
+        verifies — a worker that forges any job in the batch is
+        rejected whole.
         """
         field = self.field
         operand = field.asarray(operand)
         claimed = field.asarray(claimed)
-        if claimed.shape != (key.rows,):
-            raise ValueError(
-                f"claimed result has shape {claimed.shape}, key expects ({key.rows},)"
-            )
-        if operand.shape != (key.cols,):
-            raise ValueError(
-                f"operand has shape {operand.shape}, key expects ({key.cols},)"
-            )
-        lhs = ff_matmul(field, key.r, claimed[:, None])[:, 0]
-        rhs = ff_matmul(field, key.s, operand[:, None])[:, 0]
+        if operand.ndim == 1:
+            if claimed.shape != (key.rows,):
+                raise ValueError(
+                    f"claimed result has shape {claimed.shape}, key expects ({key.rows},)"
+                )
+            if operand.shape != (key.cols,):
+                raise ValueError(
+                    f"operand has shape {operand.shape}, key expects ({key.cols},)"
+                )
+            operand = operand[:, None]
+            claimed = claimed[:, None]
+        else:
+            if operand.ndim != 2 or operand.shape[0] != key.cols:
+                raise ValueError(
+                    f"operand has shape {operand.shape}, key expects ({key.cols}, B)"
+                )
+            if claimed.shape != (key.rows, operand.shape[1]):
+                raise ValueError(
+                    f"claimed result has shape {claimed.shape}, key expects "
+                    f"({key.rows}, {operand.shape[1]})"
+                )
+        lhs = ff_matmul(field, key.r, claimed)
+        rhs = ff_matmul(field, key.s, operand)
         return bool(np.array_equal(lhs, rhs))
 
     # ------------------------------------------------------------------
     # cost accounting (drives the simulator's verification timing)
     # ------------------------------------------------------------------
-    def check_cost_ops(self, key: MatvecKey) -> int:
+    def check_cost_ops(self, key: MatvecKey, width: int = 1) -> int:
         """Multiply-accumulate count of one check: ``p(b + d)`` — the
-        paper's ``O(m + d)`` with ``b = m/K`` (Sec. IV step 3)."""
-        return self.probes * (key.rows + key.cols)
+        paper's ``O(m + d)`` with ``b = m/K`` (Sec. IV step 3).
+        A batched check over ``width`` columns scales linearly."""
+        return self.probes * (key.rows + key.cols) * width
 
     def keygen_cost_ops(self, n_rows: int, n_cols: int) -> int:
         """One-time key cost per worker: ``p·b·d`` MACs."""

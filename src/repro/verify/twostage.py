@@ -74,5 +74,7 @@ class TwoStageVerifier:
             key.backward, claimed_intermediate, claimed_result
         )
 
-    def check_cost_ops(self, key: TwoStageKey) -> int:
-        return self._mv.check_cost_ops(key.forward) + self._mv.check_cost_ops(key.backward)
+    def check_cost_ops(self, key: TwoStageKey, width: int = 1) -> int:
+        return self._mv.check_cost_ops(key.forward, width) + self._mv.check_cost_ops(
+            key.backward, width
+        )

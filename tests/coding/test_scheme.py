@@ -93,3 +93,96 @@ class TestSlack:
         assert p.lcc_required_n - p.avcc_required_n == m
         assert p.byzantine_worker_cost_lcc == 2
         assert p.byzantine_worker_cost_avcc == 1
+
+
+class TestBoundaryEquality:
+    """Eq. (1)/(2) at exact feasibility: N == required_n must pass,
+    N == required_n - 1 must fail — the bounds are tight."""
+
+    def test_avcc_exactly_feasible(self):
+        # (K+T-1)deg_f + S + M + 1 = 8 + 2 + 1 + 1 = 12
+        p = SchemeParams(n=12, k=9, s=2, m=1)
+        assert p.avcc_required_n == 12
+        assert p.avcc_feasible
+        assert p.avcc_slack() == 0
+        p.validate_for("avcc")  # must not raise at equality
+
+    def test_avcc_one_below_boundary(self):
+        p = SchemeParams(n=11, k=9, s=2, m=1)
+        assert not p.avcc_feasible
+        with pytest.raises(ValueError, match="Eq. 2"):
+            p.validate_for("avcc")
+
+    def test_lcc_exactly_feasible(self):
+        # (K+T-1)deg_f + S + 2M + 1 = 8 + 1 + 2 + 1 = 12
+        p = SchemeParams(n=12, k=9, s=1, m=1)
+        assert p.lcc_required_n == 12
+        assert p.lcc_feasible
+        assert p.lcc_slack() == 0
+        p.validate_for("lcc")
+
+    def test_lcc_one_below_boundary(self):
+        p = SchemeParams(n=11, k=9, s=1, m=1)
+        assert not p.lcc_feasible
+        with pytest.raises(ValueError, match="Eq. 1"):
+            p.validate_for("lcc")
+
+    def test_boundary_with_privacy_padding(self):
+        # T enters the bound through (K+T-1)deg_f:
+        # (9+1-1)*1 + S + M + 1 = 9 + 1 + 1 + 1 = 12
+        p = SchemeParams(n=12, k=9, s=1, m=1, t=1)
+        assert p.avcc_required_n == 12
+        p.validate_for("avcc")
+        with pytest.raises(ValueError, match="Eq. 2"):
+            SchemeParams(n=11, k=9, s=1, m=1, t=1).validate_for("avcc")
+
+
+class TestGramianBounds:
+    """deg_f = 2 (the gramian master's workload): thresholds and
+    feasibility double the K-dependent term, per Eq. (14)."""
+
+    def test_recovery_threshold_doubles_degree_term(self):
+        p1 = SchemeParams(n=20, k=3, deg_f=1)
+        p2 = SchemeParams(n=20, k=3, deg_f=2)
+        assert p1.recovery_threshold == 3
+        assert p2.recovery_threshold == 5  # (3-1)*2 + 1
+
+    def test_gramian_exact_feasibility(self):
+        # (K+T-1)*2 + S + M + 1 = 4 + 1 + 1 + 1 = 7
+        p = SchemeParams(n=7, k=3, s=1, m=1, deg_f=2)
+        assert p.avcc_required_n == 7
+        p.validate_for("avcc")
+        with pytest.raises(ValueError, match="Eq. 2"):
+            SchemeParams(n=6, k=3, s=1, m=1, deg_f=2).validate_for("avcc")
+
+    def test_gramian_lcc_still_pays_double_m(self):
+        p = SchemeParams(n=20, k=3, s=1, m=2, deg_f=2)
+        assert p.lcc_required_n - p.avcc_required_n == p.m
+
+    def test_experimental_gramian_shape(self):
+        # the session's lazy gramian master uses scheme.with_(deg_f=2);
+        # the paper's (12, 9) matvec shape is NOT deg-2 feasible
+        p = SchemeParams(n=12, k=9, s=1, m=1).with_(deg_f=2)
+        assert p.recovery_threshold == 17
+        assert not p.avcc_feasible
+
+
+class TestValidateForErrorPaths:
+    def test_error_message_carries_numbers(self):
+        with pytest.raises(ValueError, match=r"N=10 < 11"):
+            SchemeParams(n=10, k=9, s=1, m=1).validate_for("avcc")
+        with pytest.raises(ValueError, match=r"N=10 < 12"):
+            SchemeParams(n=10, k=9, s=1, m=1).validate_for("lcc")
+
+    def test_unknown_framework_variants(self):
+        p = SchemeParams(n=12, k=9)
+        for bogus in ("", "AVCC", "rs", None):
+            with pytest.raises(ValueError, match="unknown framework"):
+                p.validate_for(bogus)
+
+    def test_zero_tolerance_always_feasible_at_k_plus_one_minus(self):
+        # with S=M=T=0 and deg_f=1 both bounds reduce to N >= K
+        p = SchemeParams(n=9, k=9)
+        assert p.avcc_required_n == p.lcc_required_n == 9
+        p.validate_for("avcc")
+        p.validate_for("lcc")

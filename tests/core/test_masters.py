@@ -338,3 +338,24 @@ class TestValidation:
         master.setup(x)
         with pytest.raises(ValueError, match="operand"):
             master.forward_round(F.zeros(5))
+
+
+class TestClusterAliasDeprecation:
+    """`master.cluster` predates the Backend protocol; it must still
+    resolve (to `backend`) but emit a DeprecationWarning."""
+
+    def test_warning_fires_and_alias_resolves(self):
+        cluster = make_cluster(n=6)
+        master = AVCCMaster(cluster, SchemeParams(n=6, k=3, s=1, m=1))
+        with pytest.warns(DeprecationWarning, match="master.backend"):
+            aliased = master.cluster
+        assert aliased is master.backend is cluster
+
+    def test_backend_attribute_is_silent(self):
+        import warnings
+
+        cluster = make_cluster(n=6)
+        master = UncodedMaster(cluster, k=3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert master.backend is cluster
