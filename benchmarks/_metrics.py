@@ -1,0 +1,35 @@
+"""Key-metric emission for the CI perf-regression gate.
+
+pytest-benchmark JSON captures *wall* times, but the metrics this
+repo's perf gate guards are protocol-level and deterministic on the
+simulator: the session's batching factor, the pipeline's simulated
+service-time speedup, pipeline occupancy. Benches record them with
+:func:`record_metric`; when the ``BENCH_METRICS_OUT`` environment
+variable names a file, the metrics are merged into that JSON (created
+on first write), and ``check_perf_regression.py`` compares the file
+against the committed baselines under ``benchmarks/baselines/``.
+
+Without ``BENCH_METRICS_OUT`` set the helper is a no-op, so local
+bench runs need no extra setup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["record_metric"]
+
+
+def record_metric(name: str, value: float) -> None:
+    """Merge ``{name: value}`` into the ``BENCH_METRICS_OUT`` JSON."""
+    out = os.environ.get("BENCH_METRICS_OUT")
+    if not out:
+        return
+    path = Path(out)
+    metrics: dict[str, float] = {}
+    if path.exists():
+        metrics = json.loads(path.read_text())
+    metrics[name] = float(value)
+    path.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")

@@ -28,6 +28,7 @@ full cross-check lives in ``tests/api/test_session.py``).
 import numpy as np
 import pytest
 
+from _metrics import record_metric
 from repro.api import Session, SessionConfig, WorkerSpec
 from repro.coding import SchemeParams
 
@@ -79,6 +80,7 @@ def test_batched_submission_throughput(benchmark, cfg, workload):
     assert stats.rounds_executed == 1
     assert stats.jobs_per_round == [BATCH]
     assert stats.batched_jobs == BATCH
+    record_metric("batching_factor", stats.batching_factor)
 
 
 def test_sequential_submission_throughput(benchmark, cfg, workload):
@@ -118,6 +120,7 @@ def test_batching_serves_identical_bytes_in_less_service_time(cfg, workload):
 
     for a, b in zip(batched_results, seq_results):
         np.testing.assert_array_equal(a, b)
+    record_metric("batching_speedup", sequential_time / batched_time)
     assert batched_time < sequential_time / 2, (
         f"batching should at least halve serving-scale service time at "
         f"B={BATCH}: {batched_time:.4f}s vs {sequential_time:.4f}s"

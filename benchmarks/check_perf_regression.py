@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Compare measured bench metrics against the committed baselines.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py MEASURED.json [BASELINE.json]
+
+``MEASURED.json`` is the file the benches wrote via ``BENCH_METRICS_OUT``
+(see ``benchmarks/_metrics.py``); ``BASELINE.json`` defaults to
+``benchmarks/baselines/metrics.json``. Every baseline metric must be
+present in the measured file and must not fall below
+``value * (1 - tolerance)`` — all gated metrics are higher-is-better
+(batching factor, speedups, occupancy). Measured metrics *above*
+baseline never fail: improvements land freely and the baseline is
+bumped by regenerating the JSON (command in the baseline's comment).
+
+Baseline entries may be written either as ``{"value": V, "tolerance":
+T}`` or as a bare number (the flat format ``BENCH_METRICS_OUT``
+emits — a regenerated metrics file can be committed as the baseline
+directly); bare numbers get ``DEFAULT_TOLERANCE``.
+
+Exit code 0 = within tolerance; 1 = regression (or missing metric).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "metrics.json"
+#: tolerance applied to bare-number baseline entries
+DEFAULT_TOLERANCE = 0.15
+
+
+def check(measured_path: str, baseline_path: str | None = None) -> int:
+    measured = json.loads(Path(measured_path).read_text())
+    baseline = json.loads(Path(baseline_path or DEFAULT_BASELINE).read_text())
+
+    failures = []
+    for name, spec in baseline.items():
+        if name.startswith("_"):
+            continue
+        if isinstance(spec, dict):
+            value, tolerance = float(spec["value"]), float(spec["tolerance"])
+        else:  # flat format, as emitted by BENCH_METRICS_OUT
+            value, tolerance = float(spec), DEFAULT_TOLERANCE
+        floor = value * (1.0 - tolerance)
+        got = measured.get(name)
+        if got is None:
+            failures.append(f"{name}: missing from measured metrics")
+            continue
+        status = "ok" if got >= floor else "REGRESSION"
+        print(
+            f"{name}: measured {got:.4f}, baseline {value:.4f} "
+            f"(floor {floor:.4f}, tol {tolerance:.0%}) ... {status}"
+        )
+        if got < floor:
+            failures.append(
+                f"{name}: {got:.4f} < floor {floor:.4f} "
+                f"(baseline {value:.4f}, tolerance {tolerance:.0%})"
+            )
+    if failures:
+        print("\nperf regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nperf regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    sys.exit(check(sys.argv[1], sys.argv[2] if len(sys.argv) > 2 else None))

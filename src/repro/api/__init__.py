@@ -29,7 +29,16 @@ Three pieces:
     submitted jobs against the same encoded family are **coalesced into
     a single broadcast round** (one ``RoundJob`` serving many jobs —
     the heavy-traffic path), and ``session.stats`` surfaces per-round
-    verify/decode/adaptation telemetry.
+    verify/decode/adaptation telemetry plus pipeline occupancy.
+
+``RoundScheduler`` (:mod:`repro.api.scheduler`) — the pipelined path
+    Rounds move through an explicit plan → dispatch → collect →
+    finalize lifecycle; with ``SessionConfig.max_inflight_rounds >= 2``
+    the session keeps several dispatched rounds in flight, overlapping
+    master-side verify/decode with worker compute across rounds.
+    ``flush`` becomes non-blocking dispatch; ``result()`` waits only
+    for its own round; ``end_iteration`` drains the window before any
+    dynamic re-code. Results are byte-identical to serial execution.
 
 Registries (:mod:`repro.api.registry`) — the extension point
     ``Session.create`` resolves backends and masters **by name**
@@ -65,11 +74,14 @@ from repro.api.registry import (
     resolve_backend,
     resolve_master,
 )
+from repro.api.scheduler import RoundScheduler, SessionClosedError
 from repro.api.session import JobHandle, Session, SessionStats
 
 __all__ = [
     "JobHandle",
+    "RoundScheduler",
     "Session",
+    "SessionClosedError",
     "SessionConfig",
     "SessionStats",
     "WorkerSpec",

@@ -121,6 +121,14 @@ class SessionConfig:
         ``scheme.n``.
     batch_window:
         Maximum jobs the session coalesces into one broadcast round.
+    max_inflight_rounds:
+        Bound W of the session's pipelined round scheduler: up to W
+        dispatched rounds may be awaiting finalization at once. ``1``
+        (default) executes rounds strictly serially; ``>= 2`` lets
+        independent rounds (different families, successive serving
+        requests) overlap — workers compute round *i+1* while the
+        master verifies/decodes round *i*. Results are byte-identical
+        across window sizes.
     cost:
         Overrides for :class:`~repro.runtime.costmodel.CostModel`
         fields (e.g. ``{"worker_sec_per_mac": 300e-9}``).
@@ -137,6 +145,7 @@ class SessionConfig:
     probes: int = 1
     workers: tuple[WorkerSpec, ...] = ()
     batch_window: int = 32
+    max_inflight_rounds: int = 1
     cost: dict[str, Any] = dc_field(default_factory=dict)
     backend_options: dict[str, Any] = dc_field(default_factory=dict)
 
@@ -149,6 +158,8 @@ class SessionConfig:
             raise ValueError("probes must be >= 1")
         if self.batch_window < 1:
             raise ValueError("batch_window must be >= 1")
+        if self.max_inflight_rounds < 1:
+            raise ValueError("max_inflight_rounds must be >= 1")
         object.__setattr__(self, "workers", tuple(self.workers))
         if self.workers and len(self.workers) != self.scheme.n:
             raise ValueError(

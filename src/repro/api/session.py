@@ -23,6 +23,22 @@ heavy-traffic path. :attr:`Session.stats` makes the coalescing
 observable (``jobs_per_round``, ``batching_factor``) and aggregates
 the per-round verify/decode/adaptation telemetry from the masters'
 trace records.
+
+Round pipelining
+----------------
+Orthogonally to batching, the session keeps up to
+``SessionConfig.max_inflight_rounds`` *rounds* in flight through the
+:class:`~repro.api.scheduler.RoundScheduler`: :meth:`flush` plans and
+dispatches without waiting for decode, so independent rounds
+(different families, successive serving requests) overlap — workers
+compute round *i+1* while the master verifies/decodes round *i*.
+``max_inflight_rounds = 1`` (the default) is the serial scheduler;
+results are byte-identical across window sizes either way.
+``JobHandle.result()`` waits only for its own round (and the rounds
+dispatched before it, which the master core must finalize first);
+``end_iteration`` drains the window before adapting, so a dynamic
+re-code never mixes shares from two scheme configurations in one
+round.
 """
 
 from __future__ import annotations
@@ -34,11 +50,12 @@ import numpy as np
 
 from repro.api.config import SessionConfig
 from repro.api.registry import resolve_backend, resolve_master
+from repro.api.scheduler import InflightRound, RoundScheduler, SessionClosedError
 from repro.core.results import AdaptationOutcome, RoundOutcome
 from repro.runtime.backend import Backend
 from repro.runtime.trace import RoundRecord
 
-__all__ = ["JobHandle", "Session", "SessionStats"]
+__all__ = ["JobHandle", "Session", "SessionClosedError", "SessionStats"]
 
 
 class JobHandle:
@@ -67,9 +84,10 @@ class JobHandle:
 
     def outcome(self) -> RoundOutcome:
         """The full :class:`~repro.core.results.RoundOutcome` (flushes
-        the pending batch on first call)."""
+        the pending batch and finalizes in-flight rounds up to this
+        job's own on first call)."""
         if not self.done():
-            self._session.flush(self.family)
+            self._session._resolve_handle(self)
         if self._error is not None:
             raise self._error
         assert self._outcome is not None
@@ -103,6 +121,9 @@ class SessionStats:
     records: list[RoundRecord] = dc_field(default_factory=list)
     #: one outcome per end_iteration() call
     adaptations: list[AdaptationOutcome] = dc_field(default_factory=list)
+    #: in-flight depth observed at each dispatch (1 = nothing else was
+    #: in flight; >= 2 = this round overlapped earlier ones)
+    dispatch_depths: list[int] = dc_field(default_factory=list)
 
     @property
     def batched_jobs(self) -> int:
@@ -133,11 +154,32 @@ class SessionStats:
         """Workers that ever failed verification, sorted."""
         return tuple(sorted({w for r in self.records for w in r.rejected_workers}))
 
+    # ------------------------------------------------------------------
+    # pipeline telemetry
+    # ------------------------------------------------------------------
+    @property
+    def max_inflight_depth(self) -> int:
+        """Deepest in-flight window ever observed at a dispatch."""
+        return max(self.dispatch_depths, default=0)
+
+    @property
+    def pipeline_occupancy(self) -> float:
+        """Mean in-flight depth at dispatch (1.0 = strictly serial)."""
+        if not self.dispatch_depths:
+            return 0.0
+        return float(sum(self.dispatch_depths)) / len(self.dispatch_depths)
+
+    @property
+    def rounds_overlapped(self) -> int:
+        """Rounds dispatched while at least one other was in flight."""
+        return sum(1 for d in self.dispatch_depths if d >= 2)
+
     def summary(self) -> str:
         return (
             f"{self.jobs_served}/{self.jobs_submitted} jobs served in "
             f"{self.rounds_executed} rounds "
-            f"(batching x{self.batching_factor:.2f}); "
+            f"(batching x{self.batching_factor:.2f}, "
+            f"pipeline depth {self.pipeline_occupancy:.2f}); "
             f"verify {self.verify_time:.4f}s, decode {self.decode_time:.4f}s, "
             f"re-encode {self.reencode_time:.4f}s"
         )
@@ -168,9 +210,19 @@ class Session:
             if config
             else SessionConfig.__dataclass_fields__["batch_window"].default
         )
+        self.max_inflight_rounds = (
+            config.max_inflight_rounds
+            if config
+            else SessionConfig.__dataclass_fields__["max_inflight_rounds"].default
+        )
         self._owns_backend = owns_backend
         self._pending: dict[str, list[tuple[JobHandle, np.ndarray]]] = {}
         self._stats = SessionStats()
+        self._scheduler = RoundScheduler(
+            self.max_inflight_rounds,
+            on_dispatched=self._stats.dispatch_depths.append,
+            on_finalized=self._note_finalized,
+        )
         self._gramian_master: Any = None
         self._x: np.ndarray | None = None
         self._closed = False
@@ -237,8 +289,12 @@ class Session:
     ) -> JobHandle:
         """Run one verified coded matrix–matrix job ``A @ B`` with
         ``(p, q)`` factor partitioning. Matmul rounds broadcast nothing
-        (factors are pre-shipped at submission), so they execute
-        immediately instead of batching."""
+        (factors are pre-shipped at submission), so they skip the
+        batching queue and dispatch immediately — but they enter the
+        pipeline window like any other round, so their finalization
+        keeps the FIFO master-core order and the pipeline telemetry
+        sees them. With the serial window (``max_inflight_rounds=1``)
+        the handle resolves before this method returns."""
         self._check_open()
         from repro.core.matmul import CodedMatmulAVCCMaster
 
@@ -252,13 +308,7 @@ class Session:
         master.setup(a, b)
         handle = JobHandle(self, "matmul", "matmul")
         self._stats.jobs_submitted += 1
-        try:
-            outcome = master.multiply()
-        except BaseException as exc:
-            handle._fail(exc)
-            raise
-        handle._resolve(outcome)
-        self._note_round([handle], outcome.record)
+        self._scheduler.submit(master, "matmul", [handle], [])
         return handle
 
     def _enqueue(self, kind: str, family: str, operand: np.ndarray) -> JobHandle:
@@ -270,12 +320,18 @@ class Session:
         return handle
 
     # ------------------------------------------------------------------
-    # batching
+    # batching + pipelining
     # ------------------------------------------------------------------
     def flush(self, family: str | None = None) -> None:
-        """Execute pending jobs now — one coalesced round per family.
+        """Dispatch pending jobs now — one coalesced round per family.
 
         ``family=None`` flushes every queue (in first-submission order).
+        With ``max_inflight_rounds = 1`` each dispatched round is also
+        finalized before the next (serial semantics); with a wider
+        window the rounds are left *in flight* — flush does not wait
+        for workers or decode, and the handles resolve when the
+        pipeline finalizes their round (``result()``,
+        ``end_iteration``, window pressure, or ``close``).
         """
         if self._pending:
             self._check_open()
@@ -286,18 +342,40 @@ class Session:
                 continue
             handles = [h for h, _ in jobs]
             operands = [op for _, op in jobs]
-            try:
-                if fam == "gram":
-                    outcomes = self._gramian_master.gramian_round_many(operands)
-                else:
-                    outcomes = self.master.round_many(fam, operands)
-            except BaseException as exc:
-                for h in handles:
-                    h._fail(exc)
-                raise
-            for h, out in zip(handles, outcomes):
-                h._resolve(out)
-            self._note_round(handles, outcomes[0].record)
+            master = self._gramian_master if fam == "gram" else self.master
+            self._scheduler.submit(master, fam, handles, operands)
+
+    def drain(self) -> None:
+        """Finalize every in-flight round (does not dispatch pending
+        queues — call :meth:`flush` first for a full barrier)."""
+        self._scheduler.drain()
+
+    def rounds_in_flight(self) -> int:
+        """Rounds dispatched but not yet finalized."""
+        return self._scheduler.in_flight
+
+    def _resolve_handle(self, handle: JobHandle) -> None:
+        """Bring ``handle`` to resolution: dispatch its family's queue
+        if it is still pending, then finalize in-flight rounds in FIFO
+        order up to (and including) its own. Rounds dispatched *after*
+        the handle's are left in flight."""
+        if self._closed:
+            # a clean close resolves every handle; reaching here means
+            # the job never ran and never will
+            raise SessionClosedError(
+                f"session is closed; job {handle.kind}:{handle.family} "
+                "was never executed"
+            )
+        if any(h is handle for h, _ in self._pending.get(handle.family, ())):
+            self.flush(handle.family)
+        self._scheduler.drain_until(handle.done)
+        if not handle.done():  # pragma: no cover - internal invariant
+            raise RuntimeError("job handle lost by the scheduler")
+
+    def _note_finalized(
+        self, rec: InflightRound, outcomes: list[RoundOutcome]
+    ) -> None:
+        self._note_round(rec.jobs, outcomes[0].record)
 
     def _note_round(self, handles: list[JobHandle], record: RoundRecord) -> None:
         self._stats.rounds_executed += 1
@@ -309,10 +387,15 @@ class Session:
     # iteration boundary / telemetry
     # ------------------------------------------------------------------
     def end_iteration(self) -> AdaptationOutcome:
-        """Flush all queues, then run the master's adaptation step
-        (dynamic re-coding for AVCC; bookkeeping otherwise)."""
+        """Flush all queues and **drain the pipeline**, then run the
+        master's adaptation step (dynamic re-coding for AVCC;
+        bookkeeping otherwise). Draining first is what keeps a re-code
+        sound under pipelining: every in-flight round finalizes against
+        the shares/keys it was planned with, and no round ever mixes
+        two scheme configurations."""
         self._check_open()
         self.flush()
+        self._scheduler.drain()
         if self._gramian_master is not None:
             self._gramian_master.end_iteration()
         out = self.master.end_iteration()
@@ -345,26 +428,40 @@ class Session:
     # ------------------------------------------------------------------
     def close(self, *, flush: bool = True) -> None:
         """Release the backend (if owned); by default pending work is
-        flushed first so outstanding handles resolve. With
-        ``flush=False`` (the exception-unwind path) pending jobs are
-        abandoned and their handles fail instead."""
+        flushed and the pipeline drained first so outstanding handles
+        resolve. With ``flush=False`` (the exception-unwind path)
+        pending jobs and in-flight rounds are abandoned and their
+        handles fail with :class:`SessionClosedError` instead."""
         if self._closed:
             return
         try:
-            if self.pending_jobs():
-                if flush:
-                    self.flush()
-                else:
-                    for jobs in self._pending.values():
-                        for handle, _ in jobs:
-                            handle._fail(
-                                RuntimeError("session closed with pending jobs")
-                            )
-                    self._pending.clear()
+            if flush:
+                try:
+                    if self.pending_jobs():
+                        self.flush()
+                    self._scheduler.drain()
+                except BaseException as exc:
+                    # a round failed while winding down: the remaining
+                    # in-flight rounds and pending jobs can no longer
+                    # run — cancel/fail them so no handle is left
+                    # unresolved, then surface the root cause
+                    self._abandon(exc)
+                    raise
+            else:
+                self._abandon(SessionClosedError("session closed with pending jobs"))
         finally:
             self._closed = True
             if self._owns_backend:
                 self.backend.close()
+
+    def _abandon(self, exc: BaseException) -> None:
+        """Fail every pending job and in-flight round with ``exc``."""
+        for jobs in self._pending.values():
+            for handle, _ in jobs:
+                if not handle.done():
+                    handle._fail(exc)
+        self._pending.clear()
+        self._scheduler.abandon(exc)
 
     def __enter__(self) -> "Session":
         return self
@@ -414,4 +511,4 @@ class Session:
 
     def _check_open(self) -> None:
         if self._closed:
-            raise RuntimeError("session is closed")
+            raise SessionClosedError("session is closed")

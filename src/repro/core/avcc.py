@@ -25,17 +25,42 @@ the thread pool, and the process pool.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.coding.scheme import SchemeParams
-from repro.core.base import FamilyState, MatvecMasterBase
+from repro.core.base import FamilyState, MatvecMasterBase, RoundPlan
 from repro.core.dynamic import AdaptivePolicy, EncodingCache
 from repro.core.results import AdaptationOutcome, InsufficientResultsError, RoundOutcome
 from repro.runtime.backend import Backend, RoundHandle
 from repro.verify.freivalds import FreivaldsVerifier, MatvecKey
 
 __all__ = ["AVCCMaster"]
+
+
+@dataclass(frozen=True)
+class _AvccRoundContext:
+    """Verification/decoding snapshot taken at plan time.
+
+    ``keys`` and ``code_pos`` are dict copies; ``st`` and ``code`` are
+    references into the :class:`EncodedConfig` current at plan time.
+    That is enough for re-entrancy because a dynamic re-code
+    (``end_iteration`` → ``_install_config``) *replaces*
+    ``self._families`` / ``self._cfg`` wholesale — existing
+    ``FamilyState`` and code objects are never mutated in place, so a
+    round planned under the old configuration keeps decoding against
+    exactly the objects it was planned with. Any future change that
+    mutates these objects in place instead of replacing them would
+    break this contract.
+    """
+
+    st: FamilyState
+    keys: dict[int, MatvecKey]
+    code_pos: dict[int, int]
+    code: object
+    k: int
+    need: int
 
 
 class AVCCMaster(MatvecMasterBase):
@@ -134,39 +159,52 @@ class AVCCMaster(MatvecMasterBase):
     def scheme_now(self) -> tuple[int, int]:
         return (len(self.active), self._cfg.k if self._cfg else self.scheme.k)
 
-    def _round(self, family: str, operand) -> RoundOutcome:
+    def _plan_raw(self, family: str, operand) -> RoundPlan:
+        """Stage 1: pad the operand, build the broadcast job, snapshot
+        the verification context (keys/code/positions frozen here)."""
         if self._cfg is None:
             raise RuntimeError("setup() must be called before rounds")
-        st = self._family(family)
-        operand = st.pad_operand(self.field, operand)
-        width = 1 if operand.ndim == 1 else operand.shape[1]
-        handle = self._run_family_round(family, operand)
-        keys = self._keys[family]
-        need = self._cfg.code.recovery_threshold()
+        ctx = _AvccRoundContext(
+            st=self._family(family),
+            keys=dict(self._keys[family]),
+            code_pos=dict(self._code_pos),
+            code=self._cfg.code,
+            k=self._cfg.k,
+            need=self._cfg.code.recovery_threshold(),
+        )
+        return self._plan_family_round(family, operand, context=ctx)
+
+    def _complete_raw(self, plan: RoundPlan, handle: RoundHandle) -> RoundOutcome:
+        """Stages 3+4: verify each arrival as it lands, stop at the
+        recovery threshold, decode over the verified subset."""
+        ctx: _AvccRoundContext = plan.context
+        operand = plan.job.operand
+        need = ctx.need
 
         verified, rejected, verify_time, t_verified = self._collect_verified(
-            handle, keys, operand, need, width=width
+            handle, ctx.keys, operand, need, width=plan.width
         )
         rr = handle.result()
         if len(verified) < need:
             raise InsufficientResultsError(
-                f"{family} round: only {len(verified)} verified results, need {need}"
+                f"{plan.family} round: only {len(verified)} verified results, "
+                f"need {need}"
             )
 
-        positions = [self._code_pos[a.worker_id] for a in verified]
+        positions = [ctx.code_pos[a.worker_id] for a in verified]
         values = np.stack([a.value for a in verified])
-        block_elems = st.block_rows * width
+        block_elems = ctx.st.block_rows * plan.width
         decode_time = self.cost_model.master_compute_time(
-            self.lagrange_decode_macs(need, self._cfg.k, block_elems)
+            self.lagrange_decode_macs(need, ctx.k, block_elems)
         )
-        blocks = self._cfg.code.decode(np.asarray(positions), values)
-        vec = self._strip(blocks, st.true_len)
+        blocks = ctx.code.decode(np.asarray(positions), values)
+        vec = self._strip(blocks, ctx.st.true_len)
 
         t_end = t_verified + decode_time
         self._iter_rejected.update(rejected)
         self._note_stragglers(rr, used=[a.worker_id for a in verified])
         record = self._mk_record(
-            round_name=family,
+            round_name=plan.round_name,
             rr=rr,
             last_used=verified[-1],
             t_end=t_end,
@@ -188,7 +226,7 @@ class AVCCMaster(MatvecMasterBase):
         backend waits on the remaining stragglers. Returns
         ``(verified_arrivals, rejected_ids, verify_work_time, t_done)``.
         """
-        master_free = handle.t_start + handle.broadcast_time
+        master_free = self._master_free_at(handle)
         verified = []
         rejected: list[int] = []
         verify_time = 0.0

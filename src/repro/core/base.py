@@ -26,8 +26,8 @@ one.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, replace as dc_replace
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -36,7 +36,7 @@ from repro.ff.field import PrimeField
 from repro.runtime.backend import Arrival, Backend, RoundHandle, RoundJob, RoundResult
 from repro.runtime.trace import RoundRecord
 
-__all__ = ["pad_rows_to_multiple", "MatvecMasterBase", "FamilyState"]
+__all__ = ["pad_rows_to_multiple", "MatvecMasterBase", "FamilyState", "RoundPlan"]
 
 
 def pad_rows_to_multiple(x: np.ndarray, k: int) -> np.ndarray:
@@ -86,12 +86,62 @@ class FamilyState:
         )
 
 
+@dataclass(frozen=True)
+class RoundPlan:
+    """Everything needed to dispatch and later finalize one round.
+
+    The round lifecycle is an explicit **plan → dispatch → collect →
+    finalize** state machine: ``plan_round`` pads/stacks the operands,
+    builds the declarative :class:`~repro.runtime.backend.RoundJob`
+    and *snapshots* the verification context (keys, code, code
+    positions, participants) so the master stays re-entrant — a
+    dynamic re-code between plan and finalize can never corrupt an
+    in-flight round's bookkeeping. ``dispatch_plan`` hands the job to
+    the backend; ``complete_round`` consumes the arrival stream,
+    verifies, decodes and traces.
+
+    Attributes
+    ----------
+    family:
+        Encoded family served (``"fwd"``/``"bwd"``/``"gram"``...).
+    round_name:
+        Name stamped on the round's trace record.
+    job:
+        The declarative broadcast-compute-collect description.
+    participants:
+        Worker ids the round was planned against (snapshot of the
+        master's active pool at plan time).
+    width:
+        Trailing batch width of the stacked operand (1 = plain vector).
+    n_jobs:
+        How many session-level jobs the round serves. ``0`` marks a
+        *raw* round (``forward_round``-style single operand): the
+        finalized vector is returned unsplit.
+    context:
+        Master-specific frozen verification/decoding context.
+    """
+
+    family: str
+    round_name: str
+    job: RoundJob
+    participants: tuple[int, ...]
+    width: int = 1
+    n_jobs: int = 0
+    context: Any = None
+
+
 class MatvecMasterBase:
     """Skeleton shared by AVCC, LCC, uncoded and Static VCC masters.
 
     Subclasses implement their waiting/verification policy over the
     round's :class:`~repro.runtime.backend.RoundHandle` and ``setup``;
     the round-driving logic here is common and backend-agnostic.
+
+    The round lifecycle is split into the :class:`RoundPlan` state
+    machine so callers (the session scheduler) can hold several rounds
+    in flight: ``plan_round`` → ``dispatch_plan`` → ``complete_round``.
+    The blocking helpers (``forward_round`` / ``round_many``) are thin
+    compositions of those three stages.
     """
 
     name = "base"
@@ -153,15 +203,36 @@ class MatvecMasterBase:
         except KeyError:
             raise ValueError(f"unknown family {family!r}; call setup() first") from None
 
-    def _run_family_round(self, family: str, operand: np.ndarray) -> RoundHandle:
+    def _plan_family_round(
+        self, family: str, operand: np.ndarray, context: Any = None
+    ) -> RoundPlan:
+        """Shared plan builder for the matvec families: pad the operand,
+        build the broadcast job, snapshot the participants."""
         st = self._family(family)
-        operand = self.field.asarray(operand)
+        operand = st.pad_operand(self.field, self.field.asarray(operand))
         if operand.shape[0] != st.operand_len or operand.ndim not in (1, 2):
             raise ValueError(
                 f"{family} operand must have length {st.operand_len}, got {operand.shape}"
             )
+        width = 1 if operand.ndim == 1 else int(operand.shape[1])
         job = RoundJob(op="matvec", payload_key=st.name, operand=operand)
-        return self.backend.dispatch_round(job, participants=self.active)
+        return RoundPlan(
+            family=family,
+            round_name=family,
+            job=job,
+            participants=tuple(self.active),
+            width=width,
+            context=context,
+        )
+
+    def _master_free_at(self, handle: RoundHandle) -> float:
+        """When the master core can start verifying this round's
+        arrivals: not before the broadcast finished, and not before the
+        master finished whatever it was doing (finalizing earlier
+        in-flight rounds, broadcasting later ones). On the serial path
+        ``backend.now`` sits exactly at the end of the broadcast, so
+        this is the classic ``t_start + broadcast_time``."""
+        return max(handle.t_start + handle.broadcast_time, self.backend.now)
 
     def _note_stragglers(self, rr: RoundResult, used: Sequence[int] = ()) -> None:
         """Straggler observation, feeding the adaptive policy's ``S_t``.
@@ -278,39 +349,67 @@ class MatvecMasterBase:
     def backward_round(self, e):
         return self._round("bwd", e)
 
-    def round_many(self, family: str, operands: Sequence[np.ndarray]):
-        """Serve many same-family jobs in **one** broadcast round.
+    # ------------------------------------------------------------------
+    # round lifecycle: plan -> dispatch -> collect/finalize
+    # ------------------------------------------------------------------
+    def plan_round(self, family: str, operands: Sequence[np.ndarray]) -> RoundPlan:
+        """Stage 1: coalesce ``operands`` (same-family jobs) into one
+        plan. A single operand stays a plain vector round; several are
+        stacked into a ``(len, B)`` batch served by one broadcast."""
+        ops = [self.field.asarray(op) for op in operands]
+        if not ops:
+            raise ValueError("plan_round needs at least one operand")
+        if len(ops) == 1:
+            raw = ops[0]
+        else:
+            st = self._family(family)
+            raw = np.stack([st.pad_operand(self.field, op) for op in ops], axis=1)
+        return dc_replace(self._plan_raw(family, raw), n_jobs=len(ops))
 
-        The operands are stacked into a single ``(len, B)`` batch, one
-        :class:`~repro.runtime.backend.RoundJob` is dispatched, workers
-        compute all products in one pass, verification checks each
-        worker's whole batch with one probe application, and a single
-        decode recovers every job. Returns one
-        :class:`~repro.core.results.RoundOutcome` per operand, in
-        submission order; they share the round's record.
+    def dispatch_plan(self, plan: RoundPlan) -> RoundHandle:
+        """Stage 2: hand the planned job to the backend. Non-blocking on
+        every backend — the returned handle is the in-flight round."""
+        return self.backend.dispatch_round(plan.job, participants=list(plan.participants))
 
-        This is the session layer's heavy-traffic path: B jobs cost one
-        broadcast, one arrival wait and one straggler exposure instead
-        of B.
-        """
+    def complete_round(self, plan: RoundPlan, handle: RoundHandle):
+        """Stages 3+4: consume the arrival stream (per-arrival verify
+        where the policy has one), decode, trace. Returns one
+        :class:`~repro.core.results.RoundOutcome` per planned job, in
+        submission order; they share the round's record."""
         from repro.core.results import RoundOutcome
 
+        out = self._complete_raw(plan, handle)
+        if plan.n_jobs <= 1:
+            return [out]
+        return [
+            RoundOutcome(vector=out.vector[:, j], record=out.record)
+            for j in range(plan.n_jobs)
+        ]
+
+    def round_many(self, family: str, operands: Sequence[np.ndarray]):
+        """Serve many same-family jobs in **one** blocking broadcast
+        round (plan → dispatch → complete back to back).
+
+        Workers compute all products in one pass, verification checks
+        each worker's whole batch with one probe application, and a
+        single decode recovers every job — B jobs cost one broadcast,
+        one arrival wait and one straggler exposure instead of B.
+        """
         ops = list(operands)
         if not ops:
             return []
-        if len(ops) == 1:
-            return [self._round(family, ops[0])]
-        st = self._family(family)
-        batch = np.stack(
-            [st.pad_operand(self.field, op) for op in ops], axis=1
-        )
-        out = self._round(family, batch)
-        return [
-            RoundOutcome(vector=out.vector[:, j], record=out.record)
-            for j in range(len(ops))
-        ]
+        plan = self.plan_round(family, ops)
+        return self.complete_round(plan, self.dispatch_plan(plan))
 
-    def _round(self, family: str, operand):  # pragma: no cover - abstract
+    def _round(self, family: str, operand):
+        """Blocking raw round (operand may be a pre-stacked batch)."""
+        plan = self._plan_raw(family, operand)
+        return self._complete_raw(plan, self.dispatch_plan(plan))
+
+    def _plan_raw(self, family: str, operand) -> RoundPlan:  # pragma: no cover
+        raise NotImplementedError
+
+    def _complete_raw(self, plan: RoundPlan, handle: RoundHandle):  # pragma: no cover
         raise NotImplementedError
 
     def _reset_iteration_observations(self) -> None:

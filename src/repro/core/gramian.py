@@ -21,18 +21,32 @@ constant ``X^T y`` is computed once at setup.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass, replace as dc_replace
+from typing import Sequence
 
 import numpy as np
 
 from repro.coding.base import partition_rows
 from repro.coding.lcc import LagrangeCode
 from repro.coding.scheme import SchemeParams
-from repro.core.base import MatvecMasterBase, pad_rows_to_multiple
+from repro.core.base import MatvecMasterBase, RoundPlan, pad_rows_to_multiple
 from repro.core.results import InsufficientResultsError, RoundOutcome
-from repro.runtime.backend import Backend, RoundJob
+from repro.runtime.backend import Backend, RoundHandle, RoundJob
 from repro.verify.twostage import TwoStageVerifier
 
 __all__ = ["GramianAVCCMaster"]
+
+
+@dataclass(frozen=True)
+class _GramianRoundContext:
+    """Verification/decoding snapshot taken at plan time."""
+
+    keys: dict[int, object]
+    code_pos: dict[int, int]
+    code: LagrangeCode
+    need: int
+    b: int
+    d: int
 
 
 class GramianAVCCMaster(MatvecMasterBase):
@@ -105,50 +119,52 @@ class GramianAVCCMaster(MatvecMasterBase):
         return (len(self.active), self.scheme.k)
 
     # ------------------------------------------------------------------
-    def gramian_round_many(self, operands) -> list[RoundOutcome]:
-        """Serve many gramian jobs in one broadcast round (the batched
-        analogue of :meth:`MatvecMasterBase.round_many`): operands are
-        stacked into a ``(d, B)`` batch, each worker returns its
-        ``concat(z, g)`` for all columns, and one decode recovers every
-        job. Outcomes share the round's record."""
+    def plan_round(self, family: str, operands: Sequence[np.ndarray]) -> RoundPlan:
+        """Stage 1 for the degree-2 family: stack the operands into a
+        ``(d, B)`` batch (no padding — operands are full-length) and
+        snapshot keys/code/positions."""
         ops = [self.field.asarray(w) for w in operands]
         if not ops:
-            return []
-        if len(ops) == 1:
-            return [self.gramian_round(ops[0])]
-        out = self.gramian_round(np.stack(ops, axis=1))
-        return [
-            RoundOutcome(vector=out.vector[:, j], record=out.record)
-            for j in range(len(ops))
-        ]
+            raise ValueError("plan_round needs at least one operand")
+        raw = ops[0] if len(ops) == 1 else np.stack(ops, axis=1)
+        return dc_replace(self._plan_raw(family, raw), n_jobs=len(ops))
 
-    def gramian_round(self, w) -> RoundOutcome:
-        """One coded round computing ``X^T X w`` (padding-transparent).
-
-        Accepts a single length-``d`` operand or a ``(d, B)`` batch."""
+    def _plan_raw(self, family: str, operand) -> RoundPlan:
         if self._code is None:
             raise RuntimeError("setup() must be called before rounds")
-        field = self.field
-        w = field.asarray(w)
+        w = self.field.asarray(operand)
         if w.ndim not in (1, 2) or w.shape[0] != self._d:
             raise ValueError(f"operand must have length {self._d}, got {w.shape}")
-        width = 1 if w.ndim == 1 else w.shape[1]
-        b = self._m_pad // self.scheme.k
-        d = self._d
-
-        handle = self.backend.dispatch_round(
-            RoundJob(op="gramian", payload_key="gram", operand=w),
-            participants=self.active,
+        ctx = _GramianRoundContext(
+            keys=dict(self._keys),
+            code_pos=dict(self._code_pos),
+            code=self._code,
+            need=self._code.recovery_threshold(deg_f=2),
+            b=self._m_pad // self.scheme.k,
+            d=self._d,
+        )
+        return RoundPlan(
+            family="gram",
+            round_name="gramian",
+            job=RoundJob(op="gramian", payload_key="gram", operand=w),
+            participants=tuple(self.active),
+            width=1 if w.ndim == 1 else int(w.shape[1]),
+            context=ctx,
         )
 
-        need = self._code.recovery_threshold(deg_f=2)
-        master_free = handle.t_start + handle.broadcast_time
+    def _complete_raw(self, plan: RoundPlan, handle: RoundHandle) -> RoundOutcome:
+        ctx: _GramianRoundContext = plan.context
+        field = self.field
+        w = plan.job.operand
+        need, b, d = ctx.need, ctx.b, ctx.d
+
+        master_free = self._master_free_at(handle)
         verified, rejected, verify_time = [], [], 0.0
         t_done = math.inf
         for a in handle:
-            key = self._keys[a.worker_id]
+            key = ctx.keys[a.worker_id]
             vt = self.cost_model.master_compute_time(
-                self.verifier.check_cost_ops(key, width)
+                self.verifier.check_cost_ops(key, plan.width)
             )
             start = max(a.t_arrival, master_free)
             master_free = start + vt
@@ -168,19 +184,19 @@ class GramianAVCCMaster(MatvecMasterBase):
                 f"gramian round: {len(verified)} verified results, need {need}"
             )
 
-        positions = np.asarray([self._code_pos[a.worker_id] for a in verified])
+        positions = np.asarray([ctx.code_pos[a.worker_id] for a in verified])
         g_vals = np.stack([a.value[b:] for a in verified])
         decode_time = self.cost_model.master_compute_time(
-            self.lagrange_decode_macs(need, self.scheme.k, d * width)
+            self.lagrange_decode_macs(need, self.scheme.k, d * plan.width)
         )
-        blocks = self._code.decode(positions, g_vals, deg_f=2)   # (k, d[, B])
+        blocks = ctx.code.decode(positions, g_vals, deg_f=2)   # (k, d[, B])
         g = blocks.sum(axis=0) % field.q
 
         t_end = t_done + decode_time
         self._iter_rejected.update(rejected)
         self._note_stragglers(rr, used=[a.worker_id for a in verified])
         record = self._mk_record(
-            round_name="gramian",
+            round_name=plan.round_name,
             rr=rr,
             last_used=verified[-1],
             t_end=t_end,
@@ -193,3 +209,21 @@ class GramianAVCCMaster(MatvecMasterBase):
         )
         self.backend.advance_to(t_end)
         return RoundOutcome(vector=g, record=record)
+
+    def gramian_round_many(self, operands) -> list[RoundOutcome]:
+        """Serve many gramian jobs in one blocking broadcast round (the
+        batched analogue of :meth:`MatvecMasterBase.round_many`):
+        operands are stacked into a ``(d, B)`` batch, each worker
+        returns its ``concat(z, g)`` for all columns, and one decode
+        recovers every job. Outcomes share the round's record."""
+        ops = list(operands)
+        if not ops:
+            return []
+        plan = self.plan_round("gram", ops)
+        return self.complete_round(plan, self.dispatch_plan(plan))
+
+    def gramian_round(self, w) -> RoundOutcome:
+        """One blocking coded round computing ``X^T X w``.
+
+        Accepts a single length-``d`` operand or a ``(d, B)`` batch."""
+        return self._round("gram", w)

@@ -17,16 +17,31 @@ Differences from AVCC, exactly as the paper characterizes them:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.coding.scheme import SchemeParams
-from repro.core.base import FamilyState, MatvecMasterBase
+from repro.core.base import FamilyState, MatvecMasterBase, RoundPlan
 from repro.core.dynamic import EncodingCache
 from repro.core.results import InsufficientResultsError, RoundOutcome
 from repro.ff.rs import DecodingError
-from repro.runtime.backend import Backend
+from repro.runtime.backend import Backend, RoundHandle
 
 __all__ = ["LCCMaster"]
+
+
+@dataclass(frozen=True)
+class _LccRoundContext:
+    """Decoding snapshot taken at plan time (LCC is static, but the
+    snapshot keeps in-flight rounds self-contained all the same)."""
+
+    st: FamilyState
+    code_pos: dict[int, int]
+    code: object
+    k: int
+    need: int
+    wait_count: int
 
 
 class LCCMaster(MatvecMasterBase):
@@ -79,43 +94,49 @@ class LCCMaster(MatvecMasterBase):
         return (self.scheme.n, self.scheme.k)
 
     # ------------------------------------------------------------------
-    def _round(self, family: str, operand) -> RoundOutcome:
+    def _plan_raw(self, family: str, operand) -> RoundPlan:
         if self._cfg is None:
             raise RuntimeError("setup() must be called before rounds")
-        st = self._family(family)
-        operand = st.pad_operand(self.field, operand)
-        width = 1 if operand.ndim == 1 else operand.shape[1]
-        handle = self._run_family_round(family, operand)
+        ctx = _LccRoundContext(
+            st=self._family(family),
+            code_pos={wid: slot for slot, wid in enumerate(self.active)},
+            code=self._cfg.code,
+            k=self._cfg.k,
+            need=self._cfg.code.recovery_threshold(),
+            wait_count=self.scheme.n - self.scheme.s,
+        )
+        return self._plan_family_round(family, operand, context=ctx)
 
-        need = self._cfg.code.recovery_threshold()
-        wait_count = self.scheme.n - self.scheme.s
+    def _complete_raw(self, plan: RoundPlan, handle: RoundHandle) -> RoundOutcome:
+        ctx: _LccRoundContext = plan.context
+        need = ctx.need
         # LCC must wait for N - S results before it can even *detect*
         # errors (Remark 1) — but not for the stragglers beyond that.
         collected = []
         for a in handle:
             collected.append(a)
-            if len(collected) == wait_count:
+            if len(collected) == ctx.wait_count:
                 handle.cancel()
                 break
         rr = handle.result()
         if len(collected) < need:
             raise InsufficientResultsError(
-                f"{family} round: {len(collected)} results < threshold {need}"
+                f"{plan.family} round: {len(collected)} results < threshold {need}"
             )
-        t_wait = collected[-1].t_arrival
+        t_wait = max(collected[-1].t_arrival, self._master_free_at(handle))
 
-        positions = np.asarray([self._code_pos(a.worker_id) for a in collected])
+        positions = np.asarray([ctx.code_pos[a.worker_id] for a in collected])
         values = np.stack([a.value for a in collected])
-        degree = self._cfg.k + self.scheme.t - 1
+        degree = ctx.k + self.scheme.t - 1
         budget = min(self.scheme.m, (len(collected) - need) // 2)
         decode_macs = self.bw_decode_macs(
-            len(collected), degree, budget, st.block_rows * width
-        ) + self.lagrange_decode_macs(need, self._cfg.k, st.block_rows * width)
+            len(collected), degree, budget, ctx.st.block_rows * plan.width
+        ) + self.lagrange_decode_macs(need, ctx.k, ctx.st.block_rows * plan.width)
         decode_time = self.cost_model.master_compute_time(decode_macs)
 
         rejected: list[int] = []
         try:
-            blocks, err_pos = self._cfg.code.decode_corrected(
+            blocks, err_pos = ctx.code.decode_corrected(
                 positions, values, max_errors=self.scheme.m, rng=self.rng
             )
             rejected = [collected[int(i)].worker_id for i in err_pos]
@@ -123,14 +144,14 @@ class LCCMaster(MatvecMasterBase):
             # Error volume beyond design capacity: decode the fastest
             # K results without correction (poisoned, but the master
             # cannot know — exactly the paper's degradation mode).
-            blocks = self._cfg.code.decode(positions[:need], values[:need])
+            blocks = ctx.code.decode(positions[:need], values[:need])
 
-        vec = self._strip(blocks, st.true_len)
+        vec = self._strip(blocks, ctx.st.true_len)
         t_end = t_wait + decode_time
         self._iter_rejected.update(rejected)
         self._note_stragglers(rr, used=[a.worker_id for a in collected])
         record = self._mk_record(
-            round_name=family,
+            round_name=plan.round_name,
             rr=rr,
             last_used=collected[-1],
             t_end=t_end,
@@ -143,6 +164,3 @@ class LCCMaster(MatvecMasterBase):
         )
         self.backend.advance_to(t_end)
         return RoundOutcome(vector=vec, record=record)
-
-    def _code_pos(self, worker_id: int) -> int:
-        return self.active.index(worker_id)

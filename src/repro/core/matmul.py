@@ -17,24 +17,48 @@ verified evaluations, and interpolates all ``A_j @ B_k`` blocks.
 
 from __future__ import annotations
 
+import itertools
 import math
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.coding.base import partition_rows
 from repro.coding.polynomial import PolynomialCode
-from repro.core.base import MatvecMasterBase
+from repro.core.base import MatvecMasterBase, RoundPlan
 from repro.core.results import InsufficientResultsError, RoundOutcome
-from repro.runtime.backend import Backend, RoundJob
+from repro.runtime.backend import Backend, RoundHandle, RoundJob
 from repro.verify.matmul import MatmulVerifier
 
 __all__ = ["CodedMatmulAVCCMaster"]
 
 
+@dataclass(frozen=True)
+class _MatmulRoundContext:
+    """Verification/decoding snapshot taken at plan time."""
+
+    keys: dict[int, object]
+    b_shares: np.ndarray
+    code: PolynomialCode
+    code_pos: dict[int, int]
+    need: int
+
+
 class CodedMatmulAVCCMaster(MatvecMasterBase):
-    """Verified, straggler-resilient distributed ``A @ B``."""
+    """Verified, straggler-resilient distributed ``A @ B``.
+
+    Each master instance ships its factor shares under unique payload
+    keys (``A#<uid>`` / ``B#<uid>``): a session serves every
+    ``submit_matmul`` through a fresh master, and with rounds
+    pipelined a later job's ``setup`` must never overwrite factors a
+    still-in-flight round is computing on.
+    """
 
     name = "matmul_avcc"
+
+    #: per-instance uid source for the unique payload keys
+    _uids = itertools.count()
 
     def __init__(
         self,
@@ -56,6 +80,9 @@ class CodedMatmulAVCCMaster(MatvecMasterBase):
         self.q = q
         self.s = s
         self.m = m
+        uid = next(CodedMatmulAVCCMaster._uids)
+        self._key_a = f"A#{uid}"
+        self._key_b = f"B#{uid}"
         self.verifier = MatmulVerifier(self.field, probes=probes)
         self._code: PolynomialCode | None = None
         self._b_shares = None
@@ -83,8 +110,8 @@ class CodedMatmulAVCCMaster(MatvecMasterBase):
         self._code = PolynomialCode(field, self.backend.n, self.p, self.q)
         a_shares = self._code.encode_a(a_blocks)
         b_shares = self._code.encode_b(b_blocks)
-        self.backend.distribute("A", a_shares, participants=self.active)
-        self.backend.distribute("B", b_shares, participants=self.active)
+        self.backend.distribute(self._key_a, a_shares, participants=self.active)
+        self.backend.distribute(self._key_b, b_shares, participants=self.active)
         self._b_shares = b_shares
         self._keys = {
             wid: self.verifier.keygen_single(a_shares[slot], self.rng)
@@ -98,31 +125,59 @@ class CodedMatmulAVCCMaster(MatvecMasterBase):
 
     # ------------------------------------------------------------------
     def multiply(self) -> RoundOutcome:
-        """One coded round computing the full product ``A @ B``."""
+        """One blocking coded round computing the full ``A @ B``."""
+        plan = self.plan_multiply()
+        return self.complete_multiply(plan, self.dispatch_plan(plan))
+
+    # scheduler-facing aliases: a matmul round carries its operands in
+    # the pre-shipped payload, so the generic (family, operands) plan
+    # surface ignores both arguments
+    def plan_round(self, family: str, operands: Sequence) -> RoundPlan:
+        return self.plan_multiply()
+
+    def complete_round(self, plan: RoundPlan, handle: RoundHandle) -> list[RoundOutcome]:
+        return [self.complete_multiply(plan, handle)]
+
+    def plan_multiply(self) -> RoundPlan:
+        """Stage 1: snapshot keys/factor shares; factors are
+        pre-shipped, so the planned round is a pure trigger."""
         if self._code is None:
             raise RuntimeError("setup() must be called before multiply()")
-
-        # factors are pre-shipped; the round is a trigger
-        handle = self.backend.dispatch_round(
-            RoundJob(op="matmul", payload_key="A", rhs_key="B"),
-            participants=self.active,
+        ctx = _MatmulRoundContext(
+            keys=dict(self._keys),
+            b_shares=self._b_shares,
+            code=self._code,
+            code_pos={wid: slot for slot, wid in enumerate(self.active)},
+            need=self._code.recovery_threshold,
+        )
+        return RoundPlan(
+            family="matmul",
+            round_name="matmul",
+            job=RoundJob(op="matmul", payload_key=self._key_a, rhs_key=self._key_b),
+            participants=tuple(self.active),
+            width=int(self._b_shares.shape[2]),
+            context=ctx,
         )
 
-        need = self._code.recovery_threshold
-        master_free = handle.t_start + handle.broadcast_time
+    def complete_multiply(self, plan: RoundPlan, handle: RoundHandle) -> RoundOutcome:
+        """Stages 3+4: verify each arriving product, stop at the
+        recovery threshold, interpolate the block products."""
+        ctx: _MatmulRoundContext = plan.context
+        need = ctx.need
+        master_free = self._master_free_at(handle)
         verified, rejected, verify_time = [], [], 0.0
         t_done = math.inf
-        out_cols = self._b_shares.shape[2]
+        out_cols = plan.width
         for a in handle:
-            key = self._keys[a.worker_id]
+            key = ctx.keys[a.worker_id]
             vt = self.cost_model.master_compute_time(
                 self.verifier.check_cost_ops(key, out_cols)
             )
             start = max(a.t_arrival, master_free)
             master_free = start + vt
             verify_time += vt
-            slot = self.active.index(a.worker_id)
-            if self.verifier.check(key, self._b_shares[slot], a.value):
+            slot = ctx.code_pos[a.worker_id]
+            if self.verifier.check(key, ctx.b_shares[slot], a.value):
                 verified.append(a)
             else:
                 rejected.append(a.worker_id)
@@ -136,20 +191,20 @@ class CodedMatmulAVCCMaster(MatvecMasterBase):
                 f"matmul round: {len(verified)} verified products, need {need}"
             )
 
-        positions = np.asarray([self.active.index(a.worker_id) for a in verified])
+        positions = np.asarray([ctx.code_pos[a.worker_id] for a in verified])
         products = np.stack([a.value for a in verified])
         block_elems = int(products[0].size)
         decode_time = self.cost_model.master_compute_time(
             need**3 // 3 + need * need * block_elems
         )
-        blocks = self._code.decode(positions, products)
+        blocks = ctx.code.decode(positions, products)
         c = PolynomialCode.assemble(blocks)
 
         t_end = t_done + decode_time
         self._iter_rejected.update(rejected)
         self._note_stragglers(rr, used=[a.worker_id for a in verified])
         record = self._mk_record(
-            round_name="matmul",
+            round_name=plan.round_name,
             rr=rr,
             last_used=verified[-1],
             t_end=t_end,

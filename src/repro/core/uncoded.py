@@ -17,9 +17,9 @@ from typing import Sequence
 import numpy as np
 
 from repro.coding.base import partition_rows
-from repro.core.base import FamilyState, MatvecMasterBase, pad_rows_to_multiple
+from repro.core.base import FamilyState, MatvecMasterBase, RoundPlan, pad_rows_to_multiple
 from repro.core.results import InsufficientResultsError, RoundOutcome
-from repro.runtime.backend import Backend
+from repro.runtime.backend import Backend, RoundHandle
 
 __all__ = ["UncodedMaster"]
 
@@ -82,28 +82,32 @@ class UncodedMaster(MatvecMasterBase):
         return (self.k, self.k)
 
     # ------------------------------------------------------------------
-    def _round(self, family: str, operand) -> RoundOutcome:
+    def _plan_raw(self, family: str, operand) -> RoundPlan:
         if self._dims is None:
             raise RuntimeError("setup() must be called before rounds")
         st = self._family(family)
-        operand = st.pad_operand(self.field, operand)
-        handle = self._run_family_round(family, operand)
+        # participant order IS the block order for the uncoded layout
+        return self._plan_family_round(family, operand, context=st)
+
+    def _complete_raw(self, plan: RoundPlan, handle: RoundHandle) -> RoundOutcome:
+        st: FamilyState = plan.context
+        order = {wid: slot for slot, wid in enumerate(plan.participants)}
 
         finite = list(handle)  # uncoded has no slack: wait for everyone
         rr = handle.result()
         if len(finite) < self.k:
             raise InsufficientResultsError(
-                f"{family} round: a worker died; uncoded cannot proceed"
+                f"{plan.family} round: a worker died; uncoded cannot proceed"
             )
         # waits for ALL k workers — the last arrival gates the round
-        t_end = finite[-1].t_arrival
-        by_position = sorted(finite, key=lambda a: self.active.index(a.worker_id))
+        t_end = max(finite[-1].t_arrival, self._master_free_at(handle))
+        by_position = sorted(finite, key=lambda a: order[a.worker_id])
         blocks = np.stack([a.value for a in by_position])
         vec = self._strip(blocks, st.true_len)
         self._note_stragglers(rr, used=[a.worker_id for a in by_position])
 
         record = self._mk_record(
-            round_name=family,
+            round_name=plan.round_name,
             rr=rr,
             last_used=finite[-1],
             t_end=t_end,

@@ -198,12 +198,18 @@ def scenario_config(
     straggler_ids: tuple[int, ...] | None = None,
     byzantine_ids: tuple[int, ...] | None = None,
     seed_offset: int = 0,
+    max_inflight_rounds: int = 1,
 ) -> SessionConfig:
     """One scenario as a declarative :class:`SessionConfig`.
 
     ``s``/``m`` parameterize the deployed scheme; ``n_stragglers`` /
     ``n_byzantine`` the *actual* fault injection (defaulting to the
     scheme's design point — Fig. 5 deliberately exceeds it).
+
+    ``max_inflight_rounds`` widens the session's pipelined round
+    scheduler; the paper experiments keep the serial default (their
+    two rounds per iteration are data-dependent), while the serving
+    benches (``bench_pipeline.py``) widen it.
     """
     specs = _worker_specs(
         cfg,
@@ -222,6 +228,7 @@ def scenario_config(
         seed=cfg.seed + seed_offset,
         workers=specs,
         cost=cfg.cost_dict(),
+        max_inflight_rounds=max_inflight_rounds,
     )
 
 

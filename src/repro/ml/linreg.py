@@ -38,7 +38,10 @@ class DistributedLinearRegressionTrainer:
     """Same drive loop as logistic regression, squared loss instead.
 
     Accepts a :class:`repro.api.Session` or a bare master (wrapped in a
-    session transparently)."""
+    session transparently). Rounds flow through the session's
+    pipelined scheduler; the two rounds per iteration are
+    data-dependent, so training itself is window-insensitive (see
+    :class:`~repro.ml.logistic.DistributedLogisticTrainer`)."""
 
     def __init__(self, service, dataset: Dataset, config: LinRegConfig | None = None):
         from repro.api.session import Session

@@ -56,7 +56,14 @@ class DistributedLogisticTrainer:
     Accepts either a :class:`repro.api.Session` (the sanctioned path)
     or a bare master (AVCC / LCC / uncoded / Static VCC), which is
     wrapped in a session transparently; all round traffic flows through
-    the session's submission API either way.
+    the session's submission API — and thus its pipelined round
+    scheduler — either way. The two training rounds are data-dependent
+    (the error needs the decoded ``z``), so a single training loop
+    runs the pipeline at depth 1 regardless of
+    ``max_inflight_rounds``; widening the window pays off when the
+    session *also* serves independent traffic (other jobs overlap the
+    training rounds), and training results are byte-identical at any
+    window size.
 
     ``activation`` defaults to the exact logistic function; pass a
     :class:`repro.ml.polyapprox.PolynomialSigmoid` to explore the

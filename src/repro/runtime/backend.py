@@ -26,6 +26,15 @@ The contract has three parts:
   stopping once enough verified results have landed. After iteration,
   :meth:`RoundHandle.result` returns the round's full
   :class:`RoundResult` for straggler accounting.
+
+  **Multiple rounds may be in flight at once** (the session's
+  pipelined scheduler dispatches round *i+1* before finalizing round
+  *i*): each handle yields exactly its own round's arrivals, and
+  concurrent rounds contend for the same fleet — the simulator queues
+  each worker's compute behind its outstanding rounds (busy-time
+  queues), the thread pool multiplexes its workers, the process pool
+  demultiplexes the shared per-worker pipes by round id.
+  ``cancel()`` is idempotent and safe before or after ``result()``.
 * :class:`Backend` — the substrate itself: share distribution
   (:meth:`Backend.distribute`), round dispatch
   (:meth:`Backend.dispatch_round`), worker-pool mutation for dynamic
@@ -270,7 +279,11 @@ class Backend(ABC):
     def dispatch_round(
         self, job: RoundJob, participants: Sequence[int] | None = None
     ) -> RoundHandle:
-        """Start one round on ``participants`` (default: all)."""
+        """Start one round on ``participants`` (default: all).
+
+        Non-blocking, and re-entrant: several dispatched rounds may be
+        open at once, each finalized through its own handle (workers
+        serve overlapping rounds in dispatch order)."""
 
     def drop_workers(self, worker_ids: Sequence[int]) -> None:
         """Remove workers from the pool (dynamic re-coding dropped

@@ -21,6 +21,15 @@ thread-pool and process backends. Because the simulator computes every
 arrival up front, cancellation is free and the full arrival schedule
 (including workers the master never waited for) stays observable —
 which is what the straggler detector uses.
+
+Concurrent rounds (the pipelined scheduler) contend through
+**per-worker busy-time queues**: while a dispatched round is neither
+cancelled nor finalized, each of its workers is busy until its compute
+for that round completes, and a later round's compute at that worker
+starts only afterwards. Retiring a round (cancel or ``result()``)
+abandons its unconsumed tail work, releasing the workers — on the
+strictly serial path every round is retired before the next dispatch,
+so the timing is identical to the pre-pipelining simulator.
 """
 
 from __future__ import annotations
@@ -55,20 +64,35 @@ class SimRoundHandle(RoundHandle):
     simply stops consuming. :meth:`result` intentionally keeps the
     *full* schedule (what every worker would have delivered), which the
     masters' straggler accounting relies on.
+
+    While the handle is neither cancelled nor finalized it counts as
+    *outstanding*: rounds dispatched in the meantime contend with its
+    workers' compute schedules (see
+    :meth:`SimCluster.dispatch_round`). Both :meth:`cancel` and
+    :meth:`result` retire the round — cancelled work is abandoned, so
+    later dispatches see the workers free again. Both are idempotent
+    and safe in any order.
     """
 
-    def __init__(self, rr: RoundResult):
+    def __init__(self, rr: RoundResult, cluster: "SimCluster | None" = None, key: int = -1):
         self._rr = rr
+        self._cluster = cluster
+        self._key = key
         self.t_start = rr.t_start
         self.broadcast_time = rr.broadcast_time
+
+    def _retire(self) -> None:
+        if self._cluster is not None:
+            self._cluster._retire_round(self._key)
 
     def __iter__(self) -> Iterator[Arrival]:
         return iter(self._rr.arrived())
 
     def cancel(self) -> None:
-        pass
+        self._retire()
 
     def result(self) -> RoundResult:
+        self._retire()
         return self._rr
 
 
@@ -109,6 +133,11 @@ class SimCluster(Backend):
         self.rng = rng or np.random.default_rng(0)
         self._now = 0.0
         self._dropped: set[int] = set()
+        #: outstanding rounds' per-worker compute-finish times
+        #: (round key -> {worker_id: t_compute_done}); new dispatches
+        #: queue each worker behind these — concurrent rounds contend
+        self._inflight: dict[int, dict[int, float]] = {}
+        self._round_seq = 0
 
     # ------------------------------------------------------------------
     @property
@@ -161,14 +190,52 @@ class SimCluster(Backend):
         self, job: RoundJob, participants: Sequence[int] | None = None
     ) -> SimRoundHandle:
         """Backend-protocol entry point: resolve the whole round on the
-        virtual clock and hand back its (pre-computed) arrival stream."""
+        virtual clock and hand back its (pre-computed) arrival stream.
+
+        Rounds may overlap: until an earlier handle is cancelled or
+        finalized (``result()``), its workers are *busy* — a worker
+        serves rounds in dispatch order, so this round's compute at
+        worker ``i`` starts only once ``i`` finished every outstanding
+        earlier round (the per-worker busy-time queue). On the strictly
+        serial path every handle is finalized before the next dispatch,
+        so no contention arises and timing is identical to the
+        pre-pipelining simulator.
+        """
+        busy = self._worker_busy_until()
         rr = self.run_round(
             compute=lambda p, _j=job: run_job_compute(self.field, p, _j),
             macs=lambda p, _j=job: job_macs(p, _j),
             broadcast_elements=job.broadcast_elements(),
             participants=participants,
+            worker_busy_until=busy,
         )
-        return SimRoundHandle(rr)
+        self._round_seq += 1
+        key = self._round_seq
+        self._inflight[key] = {
+            a.worker_id: a.t_arrival - a.comm_time
+            for a in rr.arrivals
+            if math.isfinite(a.t_arrival)
+        }
+        return SimRoundHandle(rr, cluster=self, key=key)
+
+    def _worker_busy_until(self) -> dict[int, float]:
+        """Per-worker earliest free time implied by outstanding rounds."""
+        busy: dict[int, float] = {}
+        for finishes in self._inflight.values():
+            for wid, t in finishes.items():
+                if t > busy.get(wid, 0.0):
+                    busy[wid] = t
+        return busy
+
+    def _retire_round(self, key: int) -> None:
+        """A round was cancelled or finalized: its unconsumed tail work
+        is abandoned (as a real cancellation aborts workers), so the
+        workers stop contending for later dispatches. Idempotent."""
+        self._inflight.pop(key, None)
+
+    def outstanding_rounds(self) -> int:
+        """Dispatched rounds not yet cancelled/finalized (telemetry)."""
+        return len(self._inflight)
 
     def run_round(
         self,
@@ -176,6 +243,7 @@ class SimCluster(Backend):
         macs: Callable[[dict[str, Any]], int],
         broadcast_elements: int,
         participants: Sequence[int] | None = None,
+        worker_busy_until: dict[int, float] | None = None,
     ) -> RoundResult:
         """Execute one broadcast-compute-collect round.
 
@@ -190,6 +258,11 @@ class SimCluster(Backend):
             vector) — master pays one transfer per participant.
         participants:
             Worker ids taking part (default: all).
+        worker_busy_until:
+            Optional per-worker earliest start times (absolute clock
+            seconds) from rounds still occupying them; a worker starts
+            computing at the later of the broadcast end and its busy
+            horizon. Default: everyone starts at broadcast end.
 
         The round's arrivals are returned sorted by arrival time; the
         clock is *not* advanced past the broadcast — masters advance it
@@ -197,6 +270,7 @@ class SimCluster(Backend):
         stragglers).
         """
         participants = self._participants(participants)
+        busy = worker_busy_until or {}
         t0 = self._now
         bcast = self.cost_model.transfer_time(int(broadcast_elements))
         t_ready = t0 + bcast  # master broadcasts; all workers start then
@@ -207,11 +281,12 @@ class SimCluster(Backend):
             value = w.execute(compute, self.field, self.rng)
             base = self.cost_model.worker_compute_time(int(macs(w.payload)))
             ct = w.sample_time(base, self.rng)
+            t_begin = max(t_ready, busy.get(wid, 0.0))
             if value is None:
                 queue.push(math.inf, (wid, None, ct, 0.0))
                 continue
             up = self.cost_model.transfer_time(int(np.asarray(value).size))
-            queue.push(t_ready + ct + up, (wid, value, ct, up))
+            queue.push(t_begin + ct + up, (wid, value, ct, up))
 
         arrivals = []
         for t, (wid, value, ct, up) in queue.drain():

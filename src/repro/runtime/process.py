@@ -16,13 +16,18 @@ Data movement mirrors the paper's testbed:
   so broadcast cost does not scale with the fleet size.
 * **Results** return over the per-worker pipe; the master consumes
   them in true arrival order via :func:`multiprocessing.connection.wait`.
+  Each worker serves its pipe FIFO, so several rounds can be in
+  flight at once: replies are received centrally and routed by round
+  id to the owning handle (:meth:`ProcessCluster._pump`) — the
+  pipelined scheduler's multi-round dispatch never loses a message to
+  the wrong handle.
 
 Early stopping: workers cannot be interrupted mid-computation from
 outside, so ``cancel`` makes the *master* stop waiting — outstanding
 workers report into their pipe whenever they finish and those stale
-results are drained (and their shared-memory segments reclaimed) on
-the next dispatch. A cancelled round therefore never blocks on a
-straggler's sleep.
+results are dropped (and their shared-memory segments reclaimed) the
+next time the pipes are pumped. A cancelled round therefore never
+blocks on a straggler's sleep.
 
 Fault containment: a worker whose computation raises reports the
 error and is recorded as never having arrived; a worker whose
@@ -125,11 +130,14 @@ def _worker_main(
 class ProcessRoundHandle(RoundHandle):
     """One in-flight multi-process round.
 
-    Iteration multiplexes over the participants' pipes with
-    :func:`multiprocessing.connection.wait`, yielding results in true
-    arrival order. Results tagged with an older round id (stragglers of
-    a cancelled round) are handed back to the cluster for bookkeeping
-    and skipped.
+    Several rounds may be in flight at once (the pipelined scheduler),
+    and every worker pipe carries replies for *all* of them in FIFO
+    order — so replies are received centrally by the cluster's pump
+    (:meth:`ProcessCluster._pump`) and routed by round id to the right
+    handle's inbox. Iterating a handle drains its inbox, pumping the
+    pipes whenever the inbox runs dry, and yields results in true
+    arrival order. Replies for rounds that are no longer registered
+    (cancelled) are dropped after shared-memory bookkeeping.
     """
 
     def __init__(self, cluster: "ProcessCluster", rid: int, participants: list[int]):
@@ -137,6 +145,7 @@ class ProcessRoundHandle(RoundHandle):
         self._rid = rid
         self._participants = participants
         self._received: dict[int, Arrival] = {}
+        self._inbox: list[Arrival] = []  # finite arrivals not yet yielded
         #: worker_id -> error reported by its computation (repr string)
         self.worker_errors: dict[int, str] = {}
         self._cancelled = False
@@ -149,52 +158,64 @@ class ProcessRoundHandle(RoundHandle):
                 self._received[wid] = self._missing(wid)
             else:
                 self._outstanding.add(wid)
+        cluster._handles[rid] = self
+
+    # ------------------------------------------------------------------
+    # delivery callbacks (invoked by the cluster's pump)
+    # ------------------------------------------------------------------
+    def _deliver(self, wid: int, value, ct: float, done_pc: float, err) -> None:
+        """A reply for this round landed; record it and queue finite
+        results for iteration."""
+        if wid not in self._outstanding:
+            return
+        self._outstanding.discard(wid)
+        if err is not None:
+            self.worker_errors[wid] = err
+        if value is None:
+            self._received[wid] = self._missing(wid)
+            return
+        a = Arrival(
+            worker_id=wid,
+            value=value,
+            t_arrival=max(
+                done_pc - self._cluster._t0,
+                self.t_start + self.broadcast_time,
+            ),
+            compute_time=ct,
+            comm_time=0.0,
+            truly_byzantine=self._cluster.workers[wid].is_byzantine,
+        )
+        self._received[wid] = a
+        self._inbox.append(a)
+
+    def _worker_died(self, wid: int) -> None:
+        if wid in self._outstanding:
+            self._outstanding.discard(wid)
+            self._received[wid] = self._missing(wid)
 
     # ------------------------------------------------------------------
     def __iter__(self) -> Iterator[Arrival]:
         cluster = self._cluster
         any_finite = False
-        while self._outstanding and not self._cancelled:
-            conns = {cluster._conns[wid]: wid for wid in self._outstanding}
-            for conn in connection_wait(list(conns)):
-                wid = conns[conn]
-                try:
-                    msg = conn.recv()
-                except (EOFError, OSError):  # worker process died
-                    cluster._mark_dead(wid)
-                    self._outstanding.discard(wid)
-                    self._received[wid] = self._missing(wid)
-                    continue
-                _, rid, value, ct, done_pc, err = msg
-                cluster._note_reply(rid, wid)
-                if rid != self._rid:
-                    continue  # straggler of a cancelled earlier round
-                self._outstanding.discard(wid)
-                if err is not None:
-                    self.worker_errors[wid] = err
-                if value is None:
-                    self._received[wid] = self._missing(wid)
-                    continue
-                a = Arrival(
-                    worker_id=wid,
-                    value=value,
-                    t_arrival=max(
-                        done_pc - cluster._t0,
-                        self.t_start + self.broadcast_time,
-                    ),
-                    compute_time=ct,
-                    comm_time=0.0,
-                    truly_byzantine=cluster.workers[wid].is_byzantine,
-                )
-                self._received[wid] = a
+        while not self._cancelled:
+            if self._inbox:
                 any_finite = True
-                yield a
+                yield self._inbox.pop(0)
+                continue
+            if not self._outstanding:
+                break
+            cluster._pump(self._outstanding)
         if (
             not self._cancelled
             and not any_finite
+            and not self._inbox
             and len(self.worker_errors) == len(self._participants)
         ):
-            # every worker failed: a malformed job, not node failures
+            # every worker failed: a malformed job, not node failures.
+            # Deregister first — this raise may propagate out of a
+            # blocking caller that never reaches cancel()/result(),
+            # and a zombie registration would leak in the cluster.
+            self._cluster._handles.pop(self._rid, None)
             wid, err = next(iter(self.worker_errors.items()))
             raise RuntimeError(
                 f"all {len(self._participants)} workers failed this round "
@@ -207,13 +228,16 @@ class ProcessRoundHandle(RoundHandle):
         )
 
     def cancel(self) -> None:
-        """Stop waiting; outstanding workers' late replies are drained
-        by the cluster on the next dispatch."""
+        """Stop waiting; late replies are dropped (after shared-memory
+        bookkeeping) whenever the cluster next pumps the pipes.
+        Idempotent, and safe after :meth:`result`."""
         self._cancelled = True
+        self._cluster._handles.pop(self._rid, None)
 
     def result(self) -> RoundResult:
         for wid in self._outstanding:
             self._received.setdefault(wid, self._missing(wid))
+        self._cluster._handles.pop(self._rid, None)
         ordered = sorted(self._received.values(), key=lambda a: a.t_arrival)
         return RoundResult(
             t_start=self.t_start,
@@ -254,6 +278,10 @@ class ProcessCluster(WallClockBackend):
         self._pending_shm: dict[int, list] = {}
         #: workers whose process crashed — permanently silent
         self._dead: set[int] = set()
+        #: rid -> live (registered) round handle; replies are routed
+        #: here so concurrent in-flight rounds never steal each other's
+        #: messages off the shared per-worker pipes
+        self._handles: dict[int, ProcessRoundHandle] = {}
 
         try:
             ctx = multiprocessing.get_context("fork")
@@ -317,8 +345,37 @@ class ProcessCluster(WallClockBackend):
         self._dead.add(wid)
         for entry in self._pending_shm.values():
             entry[1].discard(wid)
+        for handle in list(self._handles.values()):
+            handle._worker_died(wid)
         self._gc_pending_shm()
         self._reap_worker(wid)
+
+    def _pump(self, want: Sequence[int]) -> None:
+        """Receive one batch of worker replies and route each to the
+        handle that owns its round id.
+
+        ``want`` names the workers the caller is blocked on; their
+        pipes are the wait set. A worker's pipe carries its replies in
+        round-dispatch order, so a reply that surfaces here may belong
+        to an *earlier* in-flight round — it is delivered to that
+        round's handle (or dropped, after shared-memory bookkeeping,
+        if its round was cancelled/finalized).
+        """
+        conns = {self._conns[wid]: wid for wid in want if wid not in self._dead}
+        if not conns:
+            return
+        for conn in connection_wait(list(conns)):
+            wid = conns[conn]
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):  # worker process died
+                self._mark_dead(wid)
+                continue
+            _, rid, value, ct, done_pc, err = msg
+            self._note_reply(rid, wid)
+            target = self._handles.get(rid)
+            if target is not None:
+                target._deliver(wid, value, ct, done_pc, err)
 
     # ------------------------------------------------------------------
     def distribute(self, name: str, shares: np.ndarray, participants=None) -> float:

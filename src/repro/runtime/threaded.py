@@ -14,6 +14,12 @@ shared cancellation event wakes any straggler still in its injected
 sleep and aborts workers that have not started computing, so the round
 ends without paying the tail latency the master did not need.
 
+Concurrent rounds multiplex naturally: each dispatch submits one task
+per participant to the shared pool and each handle owns its private
+completion queue, so the pipelined scheduler can hold several rounds
+in flight — a later round's tasks simply queue behind the earlier
+round's on the pool's worker threads.
+
 A worker whose computation raises is recorded as never having arrived
 (crash-stop — the same degradation a real node failure produces); the
 exception is kept on the handle's ``worker_errors`` and re-raised only
