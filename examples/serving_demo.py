@@ -1,0 +1,115 @@
+"""Serving demo: multi-tenant traffic through the coded-computing gateway.
+
+Three gateway configurations replay the *same* bursty two-tenant trace
+against the same simulated AVCC fleet (12 workers, one 5x straggler,
+one Byzantine):
+
+* serial    — every request is its own round (count policy, window 1);
+* pipelined — same rounds, but 8 in flight through the session's
+              round scheduler;
+* batched   — deadline-aware micro-batching (hybrid policy): bursts
+              coalesce into wide rounds, tight SLOs force early
+              dispatch, a 20 ms linger caps tail latency.
+
+Usage::
+
+    python examples/serving_demo.py [--requests N]
+
+Every served request is verified (Freivalds) and decoded exactly —
+the demo checks a few against direct field arithmetic at the end.
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.api import Session
+from repro.experiments.common import (
+    SERVING_SCALE,
+    ExperimentConfig,
+    make_serving_workload,
+    serving_config,
+)
+from repro.ff import DEFAULT_PRIME, PrimeField, ff_matvec
+from repro.serve import Gateway, GatewayConfig, OpenLoopSource
+
+
+def run_variant(name, cfg, requests, tenant_weights, *, policy, options, inflight=1):
+    session_cfg = serving_config(cfg, max_inflight_rounds=inflight)
+    with Session.create(session_cfg) as sess:
+        x = sess.field.random(SERVING_SCALE, np.random.default_rng(0))
+        sess.load(x)
+        gateway = Gateway(
+            sess,
+            OpenLoopSource(requests),
+            GatewayConfig(
+                batch_policy=policy,
+                policy_options=options,
+                tenant_weights=tenant_weights,
+            ),
+        )
+        report = gateway.run()
+    print(f"  {name:<10} {report.summary()}")
+    return x, gateway, report
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=160)
+    args = parser.parse_args()
+
+    cfg = ExperimentConfig()
+    field = PrimeField(DEFAULT_PRIME)
+    # one deterministic trace (requests are frozen), replayed by all
+    generator, requests = make_serving_workload(
+        field, SERVING_SCALE, n_requests=args.requests
+    )
+    weights = generator.tenant_weights
+
+    print(
+        f"mixed Poisson+burst trace: {len(requests)} requests, "
+        f"tenants {sorted(weights)}"
+    )
+    print("ServeReport per gateway variant:")
+    _, _, serial = run_variant(
+        "serial", cfg, requests, weights, policy="count", options={"window": 1}
+    )
+    run_variant(
+        "pipelined", cfg, requests, weights,
+        policy="count", options={"window": 1}, inflight=8,
+    )
+    x, gateway, batched = run_variant(
+        "batched", cfg, requests, weights,
+        policy="hybrid", options={"window": 16, "safety": 2.0, "linger": 0.02},
+    )
+
+    print(
+        f"\np99 latency: serial {serial.p99 * 1e3:.1f} ms -> "
+        f"batched {batched.p99 * 1e3:.1f} ms "
+        f"({serial.p99 / batched.p99:.2f}x better)"
+    )
+    print(
+        f"SLO attainment: serial {serial.slo_attainment:.1%} -> "
+        f"batched {batched.slo_attainment:.1%}"
+    )
+    print(f"fairness (Jain, weighted): {batched.fairness_index():.3f}")
+    print(
+        "per-tenant served:",
+        {t: int(r["served"]) for t, r in batched.tenant_summary().items()},
+    )
+
+    # spot-check correctness: batching never changes a byte
+    checked = 0
+    for req in requests:
+        if checked == 5:
+            break
+        if req.family != "matvec" or req.request_id not in gateway.results:
+            continue
+        expected = ff_matvec(field, x.T.copy() if req.transpose else x, req.operand)
+        assert gateway.results[req.request_id].tobytes() == expected.tobytes()
+        checked += 1
+    print(f"verified {checked} spot-checked results bit-exact against direct arithmetic")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,8 @@ Top-level convenience re-exports. The subpackages are:
 ``repro.core``         the AVCC master, baselines, dynamic coding
 ``repro.ml``           quantized distributed training applications
 ``repro.experiments``  regeneration of the paper's tables and figures
+``repro.api``          the Session front door (config, registries, batching)
+``repro.serve``        the multi-tenant serving gateway (traffic, deadlines)
 """
 
 from repro.coding import LagrangeCode, MDSCode, SchemeParams

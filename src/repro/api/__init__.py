@@ -63,6 +63,15 @@ Registries (:mod:`repro.api.registry`) — the extension point
 
 The layer-by-layer wiring remains available and importable (the tests
 pin it); this package is sugar plus policy, not a wall.
+
+Above this package sits :mod:`repro.serve` — the multi-tenant serving
+gateway (traffic generation, admission control, deadline-aware
+micro-batching). It drives sessions purely through this API:
+``Session.submit(request)`` routes typed requests, and its batch
+policies consume the round-time telemetry
+(``Session.estimate_round_time``, blending a cost-model prior with
+``SessionStats.recent_round_time``); ``queue_depths`` exposes the
+session-side pending-job depth for dashboards and future autoscaling.
 """
 
 from repro.api.config import SessionConfig, WorkerSpec

@@ -155,6 +155,39 @@ class SessionStats:
         return tuple(sorted({w for r in self.records for w in r.rejected_workers}))
 
     # ------------------------------------------------------------------
+    # round-time telemetry (feeds the serving layer's deadline batcher)
+    # ------------------------------------------------------------------
+    @property
+    def round_durations(self) -> list[float]:
+        """Backend-clock duration of every executed round, in order."""
+        return [r.duration for r in self.records]
+
+    @property
+    def mean_round_time(self) -> float:
+        """Mean round duration over the whole session (0.0 if none)."""
+        durations = self.round_durations
+        if not durations:
+            return 0.0
+        return float(sum(durations)) / len(durations)
+
+    def recent_round_time(self, window: int = 8, family: str | None = None) -> float:
+        """Mean duration of the last ``window`` rounds (0.0 if none) —
+        the live signal the serving layer blends with the cost-model
+        prior when estimating how long the next round will take.
+        ``family`` restricts to rounds of one encoded family (matched
+        against the records' ``round_name``), so a gramian-heavy
+        stretch does not skew a matvec estimate."""
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        records = self.records
+        if family is not None:
+            records = [r for r in records if r.round_name == family]
+        durations = [r.duration for r in records[-window:]]
+        if not durations:
+            return 0.0
+        return float(sum(durations)) / len(durations)
+
+    # ------------------------------------------------------------------
     # pipeline telemetry
     # ------------------------------------------------------------------
     @property
@@ -311,6 +344,30 @@ class Session:
         self._scheduler.submit(master, "matmul", [handle], [])
         return handle
 
+    def submit(self, request: Any) -> JobHandle:
+        """Serve-layer entry point: route one typed request to the
+        matching ``submit_*`` method.
+
+        ``request`` is duck-typed (so :class:`repro.serve.workload.
+        Request` — or any compatible object — can be submitted without
+        this module importing the serving layer): it must expose
+        ``family`` (``"matvec" | "gramian" | "matmul"``) and
+        ``operand``, plus ``transpose`` for matvec and ``operand_b``
+        for matmul.
+        """
+        family = request.family
+        if family == "matvec":
+            return self.submit_matvec(
+                request.operand, transpose=bool(getattr(request, "transpose", False))
+            )
+        if family == "gramian":
+            return self.submit_gramian(request.operand)
+        if family == "matmul":
+            return self.submit_matmul(request.operand, request.operand_b)
+        raise ValueError(
+            f"unknown request family {family!r}; expected matvec|gramian|matmul"
+        )
+
     def _enqueue(self, kind: str, family: str, operand: np.ndarray) -> JobHandle:
         handle = JobHandle(self, kind, family)
         self._pending.setdefault(family, []).append((handle, operand))
@@ -422,6 +479,79 @@ class Session:
 
     def pending_jobs(self) -> int:
         return sum(len(v) for v in self._pending.values())
+
+    def queue_depths(self) -> dict[str, int]:
+        """Pending (submitted but not yet dispatched) jobs per encoded
+        family — session-side queue-depth telemetry for dashboards and
+        autoscaling policies (the serving gateway keeps its own
+        request-level queues in front of this one)."""
+        return {fam: len(jobs) for fam, jobs in self._pending.items() if jobs}
+
+    def estimate_round_time(self, family: str = "fwd", width: int = 1) -> float:
+        """Expected backend-clock duration of one ``family`` round
+        serving ``width`` coalesced jobs.
+
+        The estimate blends two signals:
+
+        * an a-priori :class:`~repro.runtime.costmodel.CostModel`
+          prior — broadcast transfer, nominal worker compute over one
+          share block, result upload, and master-side verify/decode
+          arithmetic (stragglers are *not* in the prior; callers that
+          care add their own safety margin);
+        * the live mean of recently executed round durations from
+          :attr:`stats` (which *does* include straggler waiting and
+          contention), preferring rounds of the *same family* and
+          falling back to the all-family mean only while this family
+          has never run (cold start).
+
+        With both available the estimate is their average; with only
+        one, that one; with neither (no data loaded, no rounds run),
+        0.0. Families: ``"fwd"``/``"matvec"``, ``"bwd"``,
+        ``"gram"``/``"gramian"`` — anything else falls back to the
+        observed signal alone.
+        """
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        key = {"matvec": "fwd", "gramian": "gram"}.get(family, family)
+        observed = self._stats.recent_round_time(family=key)
+        if observed == 0.0:
+            observed = self._stats.recent_round_time()
+        prior = self._prior_round_time(family, width)
+        if prior > 0.0 and observed > 0.0:
+            return 0.5 * (prior + observed)
+        return prior if prior > 0.0 else observed
+
+    def _prior_round_time(self, family: str, width: int) -> float:
+        """Cost-model prior for :meth:`estimate_round_time` (0.0 when
+        no data is loaded or the family has no closed-form shape)."""
+        if self._x is None:
+            return 0.0
+        m, d = self._x.shape
+        k = max(1, self.master.scheme_now[1])
+        if family in ("fwd", "matvec"):
+            out_len, op_len, deg = m, d, 1
+        elif family == "bwd":
+            out_len, op_len, deg = d, m, 1
+        elif family in ("gram", "gramian"):
+            out_len, op_len, deg = d, d, 2
+        else:
+            return 0.0
+        block = -(-out_len // k)  # ceil: padded block rows per worker
+        cm = self.backend.cost_model
+        from repro.core.base import MatvecMasterBase
+
+        worker_macs = deg * block * op_len * width
+        result_elems = deg * block * width
+        master_macs = (
+            k * result_elems  # one probe application per verification
+            + MatvecMasterBase.lagrange_decode_macs(k, k, result_elems)
+        )
+        return (
+            cm.transfer_time(op_len * width)  # operand broadcast
+            + cm.worker_compute_time(worker_macs)  # nominal worker compute
+            + cm.transfer_time(result_elems)  # result upload
+            + cm.master_compute_time(master_macs)  # verify + decode
+        )
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -45,11 +45,14 @@ from repro.runtime import CostModel, SimCluster, TraceRecorder
 
 __all__ = [
     "ExperimentConfig",
+    "SERVING_SCALE",
     "build_cluster",
     "make_master",
+    "make_serving_workload",
     "make_session",
     "run_training",
     "scenario_config",
+    "serving_config",
 ]
 
 
@@ -236,6 +239,77 @@ def make_session(method: str, cfg: ExperimentConfig, **scenario) -> Session:
     """Stand up a ready session for one scenario (shares not yet
     loaded — call ``session.load(x)``)."""
     return Session.create(scenario_config(method, cfg, **scenario))
+
+
+# ----------------------------------------------------------------------
+# the serving scenario (gateway traffic against the paper's fleet)
+# ----------------------------------------------------------------------
+#: canonical serving scale: GISETTE-like structure, small enough that
+#: per-round overhead — what micro-batching amortizes — dominates
+SERVING_SCALE = (240, 120)
+
+
+def serving_config(
+    cfg: ExperimentConfig,
+    *,
+    batch_window: int = 64,
+    max_inflight_rounds: int = 1,
+    seed_offset: int = 0,
+) -> SessionConfig:
+    """The serving scenario's session: the paper's ``(12, 9, S=1,
+    M=1)`` AVCC deployment at the calibrated cost constants, with one
+    heavy (5x) straggler and one always-on Byzantine worker — the
+    fleet every gateway variant (serial, pipelined, deadline-batched)
+    is benchmarked against. ``batch_window`` is kept wide so the
+    *gateway's* batch policy, not the session's count trigger, decides
+    round boundaries."""
+    specs = _worker_specs(cfg, 1, 1, "reverse", False, None, None)
+    return SessionConfig(
+        scheme=SchemeParams(n=cfg.n_workers, k=cfg.k, s=1, m=1),
+        master="avcc",
+        backend="sim",
+        prime=DEFAULT_PRIME,
+        seed=cfg.seed + seed_offset,
+        workers=specs,
+        batch_window=batch_window,
+        max_inflight_rounds=max_inflight_rounds,
+        cost=cfg.cost_dict(),
+    )
+
+
+def make_serving_workload(
+    field,
+    shape: tuple[int, int] = SERVING_SCALE,
+    *,
+    n_requests: int = 240,
+    seed: int = 7,
+    calm_rate: float = 500.0,
+    burst_rate: float = 2500.0,
+):
+    """The mixed Poisson+burst serving trace: two tenants (a patient
+    ``free`` tier and a 3x-weighted ``pro`` tier with a tight SLO)
+    over a Markov-modulated Poisson arrival process whose bursts
+    exceed the serial gateway's capacity. Returns ``(generator,
+    requests)``; the generator's :attr:`tenant_weights` feed the
+    gateway's fair queue. Deterministic for a given seed, so every
+    gateway variant replays the identical trace."""
+    from repro.serve import BurstyArrivals, TenantSpec, WorkloadGenerator
+
+    generator = WorkloadGenerator(
+        field,
+        shape,
+        tenants=[
+            TenantSpec(
+                "free", weight=1.0, deadline_slack=0.6, transpose_fraction=0.3
+            ),
+            TenantSpec("pro", weight=3.0, deadline_slack=0.25),
+        ],
+        arrivals=BurstyArrivals(
+            calm_rate=calm_rate, burst_rate=burst_rate, p_burst=0.08, p_calm=0.15
+        ),
+        seed=seed,
+    )
+    return generator, generator.generate(n_requests)
 
 
 # ----------------------------------------------------------------------

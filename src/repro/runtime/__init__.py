@@ -58,6 +58,7 @@ from repro.runtime.latency import (
     GaussianJitterLatency,
     LatencyModel,
     ShiftedExponentialLatency,
+    TraceLatency,
     make_profiles,
 )
 from repro.runtime.process import ProcessCluster
@@ -86,6 +87,7 @@ __all__ = [
     "RoundRecord",
     "RoundResult",
     "ShiftedExponentialLatency",
+    "TraceLatency",
     "SilentFailure",
     "SimCluster",
     "SimWorker",

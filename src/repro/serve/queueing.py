@@ -1,0 +1,177 @@
+"""Multi-tenant admission control and weighted fair dequeue.
+
+The gateway admits every arriving request into a per-tenant bounded
+FIFO. Admission control sheds two classes of request up front — the
+overload protection half of the serving story:
+
+* **queue-full** — the tenant's FIFO is at ``depth`` (the tenant is
+  submitting faster than its fair share drains; unbounded queues just
+  convert overload into unbounded latency);
+* **already-expired** — the request's deadline has passed before it
+  could even be queued (or before it reached the head of the queue:
+  dequeue re-checks, so a request that aged out while waiting is shed
+  instead of wasting a round on work nobody will accept).
+
+Dequeue order across tenants is **stride-scheduled weighted fair
+queueing**: every tenant carries a virtual *pass*; each dequeue picks
+the backlogged tenant with the smallest pass and advances it by
+``1 / weight`` — over any backlogged interval tenant service converges
+to the weight ratio, and a tenant idling never banks credit (on
+re-arrival its pass is brought up to the system virtual time, the
+largest pass ever charged — even across fully idle stretches).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field as dc_field
+from typing import Iterable, Mapping
+
+from repro.serve.workload import Request
+
+__all__ = ["ADMITTED", "SHED_EXPIRED", "SHED_QUEUE_FULL", "FairQueue", "TenantStats"]
+
+#: admission verdicts returned by :meth:`FairQueue.offer`
+ADMITTED = "admitted"
+SHED_QUEUE_FULL = "shed-queue-full"
+SHED_EXPIRED = "shed-expired"
+
+
+@dataclass
+class TenantStats:
+    """Per-tenant admission/shedding counters."""
+
+    admitted: int = 0
+    shed_queue_full: int = 0
+    shed_expired: int = 0
+    dequeued: int = 0
+
+    @property
+    def offered(self) -> int:
+        return self.admitted + self.shed_queue_full + self.shed_expired
+
+
+@dataclass
+class _TenantQueue:
+    weight: float
+    fifo: deque[Request] = dc_field(default_factory=deque)
+    pass_value: float = 0.0
+    stats: TenantStats = dc_field(default_factory=TenantStats)
+
+
+class FairQueue:
+    """Bounded per-tenant FIFOs with stride-scheduled fair dequeue.
+
+    Parameters
+    ----------
+    depth:
+        Per-tenant queue bound; offers beyond it are shed.
+    weights:
+        ``tenant -> weight`` for the fair dequeue (and unknown tenants
+        get ``default_weight``). Higher weight = proportionally more
+        dequeues while backlogged.
+    default_weight:
+        Weight for tenants absent from ``weights``.
+    """
+
+    def __init__(
+        self,
+        depth: int = 64,
+        weights: Mapping[str, float] | None = None,
+        default_weight: float = 1.0,
+    ):
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        if default_weight <= 0:
+            raise ValueError("default_weight must be positive")
+        weights = dict(weights or {})
+        if any(w <= 0 for w in weights.values()):
+            raise ValueError("tenant weights must be positive")
+        self.depth = depth
+        self._weights = weights
+        self._default_weight = default_weight
+        self._tenants: dict[str, _TenantQueue] = {}
+        self._shed: list[tuple[Request, str]] = []
+        #: system virtual time: the largest pass ever charged. A tenant
+        #: (re)joining the backlog starts here, so idling — even
+        #: through a fully idle system — never banks credit.
+        self._vtime = 0.0
+
+    # ------------------------------------------------------------------
+    def _tenant(self, name: str) -> _TenantQueue:
+        tq = self._tenants.get(name)
+        if tq is None:
+            tq = _TenantQueue(weight=self._weights.get(name, self._default_weight))
+            self._tenants[name] = tq
+        return tq
+
+    # ------------------------------------------------------------------
+    def offer(self, request: Request, now: float) -> str:
+        """Admit ``request`` or shed it; returns the admission verdict
+        (:data:`ADMITTED` / :data:`SHED_QUEUE_FULL` /
+        :data:`SHED_EXPIRED`). Shed requests are also queued up for
+        :meth:`take_shed` so the gateway can record their outcomes."""
+        tq = self._tenant(request.tenant)
+        if request.expired(now):
+            tq.stats.shed_expired += 1
+            self._shed.append((request, SHED_EXPIRED))
+            return SHED_EXPIRED
+        if len(tq.fifo) >= self.depth:
+            tq.stats.shed_queue_full += 1
+            self._shed.append((request, SHED_QUEUE_FULL))
+            return SHED_QUEUE_FULL
+        if not tq.fifo:
+            # an idle tenant must not bank credit: rejoin at the
+            # system virtual time
+            tq.pass_value = max(tq.pass_value, self._vtime)
+        tq.fifo.append(request)
+        tq.stats.admitted += 1
+        return ADMITTED
+
+    def pop(self, now: float) -> Request | None:
+        """Dequeue the next request in weighted-fair order, shedding
+        any that expired while queued (recorded for
+        :meth:`take_shed`). ``None`` = every queue is empty."""
+        while True:
+            backlogged = [(t.pass_value, name) for name, t in self._tenants.items() if t.fifo]
+            if not backlogged:
+                return None
+            _, name = min(backlogged)
+            tq = self._tenants[name]
+            request = tq.fifo.popleft()
+            if request.expired(now):
+                tq.stats.shed_expired += 1
+                self._shed.append((request, SHED_EXPIRED))
+                continue
+            tq.pass_value += 1.0 / tq.weight
+            self._vtime = max(self._vtime, tq.pass_value)
+            tq.stats.dequeued += 1
+            return request
+
+    def take_shed(self) -> list[tuple[Request, str]]:
+        """Drain the (request, verdict) pairs shed since the last call."""
+        out, self._shed = self._shed, []
+        return out
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(t.fifo) for t in self._tenants.values())
+
+    def depth_of(self, tenant: str) -> int:
+        tq = self._tenants.get(tenant)
+        return len(tq.fifo) if tq else 0
+
+    def tenants(self) -> Iterable[str]:
+        return self._tenants.keys()
+
+    def stats(self) -> dict[str, TenantStats]:
+        """Per-tenant admission counters (live objects)."""
+        return {name: t.stats for name, t in self._tenants.items()}
+
+    @property
+    def total_shed_queue_full(self) -> int:
+        return sum(t.stats.shed_queue_full for t in self._tenants.values())
+
+    @property
+    def total_shed_expired(self) -> int:
+        return sum(t.stats.shed_expired for t in self._tenants.values())

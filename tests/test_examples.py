@@ -52,6 +52,14 @@ class TestExamples:
         assert "bit-exact" in out
         assert "avcc" in out and "uncoded" in out
 
+    def test_serving_demo(self):
+        out = _run("serving_demo.py", "--requests", "80")
+        assert "ServeReport per gateway variant" in out
+        assert "serial" in out and "pipelined" in out and "batched" in out
+        assert "SLO attainment" in out
+        assert "fairness (Jain, weighted)" in out
+        assert "bit-exact against direct arithmetic" in out
+
     def test_private_inference(self):
         out = _run("private_inference.py")
         assert "bit-identical" in out
