@@ -2,7 +2,7 @@
 
 Runs the identical AVCC workload — setup plus a block of
 forward/backward rounds at the experiments' default (m=1200, d=600,
-N=12, K=9) scale — on all three ``Backend`` implementations and
+N=12, K=9) scale — on all four ``Backend`` implementations and
 reports real wall-clock for each. The deployment is one
 ``SessionConfig``; only the ``backend`` registry name changes:
 
@@ -13,15 +13,22 @@ reports real wall-clock for each. The deployment is one
 * ``process`` pays per-round IPC (shared-memory broadcast + pickled
   results) to escape the GIL entirely — the trade the paper's testbed
   makes across its real network.
+* ``tcp`` pays real sockets and real serialization (the binary wire
+  protocol) against a loopback fleet of worker daemons — the closest
+  this repo gets to the paper's physical testbed.
 
 Shape assertions only check correctness (every backend must decode
 bit-exactly); relative wall-clock between the real backends is
-machine-dependent and intentionally not asserted.
+machine-dependent and intentionally not asserted. The CI ``bench-tcp``
+job gates the deterministic ``tcp_decode_success_rate`` emitted here
+(every tcp round must decode bit-exactly) via
+``check_perf_regression.py --select 'tcp_*'``.
 """
 
 import numpy as np
 import pytest
 
+from _metrics import record_metric
 from repro.api import Session, SessionConfig, WorkerSpec
 from repro.coding import SchemeParams
 from repro.ff import ff_matvec
@@ -48,7 +55,7 @@ def _config(kind, s=S, m=M, **kwargs):
     )
 
 
-@pytest.mark.parametrize("kind", ["sim", "threaded", "process"])
+@pytest.mark.parametrize("kind", ["sim", "threaded", "process", "tcp"])
 def test_avcc_rounds_per_backend(benchmark, cfg, field, rng, kind):
     x = field.random((cfg.m, cfg.d), rng)
     w = field.random(cfg.d, rng)
@@ -74,7 +81,7 @@ def test_avcc_rounds_per_backend(benchmark, cfg, field, rng, kind):
         np.testing.assert_array_equal(vec, z if i % 2 == 0 else g)
 
 
-@pytest.mark.parametrize("kind", ["threaded", "process"])
+@pytest.mark.parametrize("kind", ["threaded", "process", "tcp"])
 def test_early_stopping_saves_straggler_tail(benchmark, field, rng, kind):
     """With one heavy straggler and enough slack, a real-backend round
     must cost ~(fast worker time), not ~(straggler sleep)."""
@@ -100,3 +107,44 @@ def test_early_stopping_saves_straggler_tail(benchmark, field, rng, kind):
     out = benchmark.pedantic(run, rounds=1, iterations=1)
     np.testing.assert_array_equal(out.vector, ff_matvec(field, x, w))
     assert 0 not in out.record.used_workers
+
+
+def test_tcp_loopback_fleet_decode_rate(benchmark, cfg, field, rng):
+    """The ``bench-tcp`` CI headline: a loopback socket fleet serving
+    a block of mixed fwd/bwd rounds under a straggler and a Byzantine
+    worker must decode every round bit-exactly.
+
+    The gated metric is a *success rate*, not a wall time — runner
+    hardware varies, protocol correctness does not. The measured
+    round rate is still recorded (ungated) for the artifact trail.
+    """
+    x = field.random((cfg.m, cfg.d), rng)
+    w = field.random(cfg.d, rng)
+    e = field.random(cfg.m, rng)
+    z = ff_matvec(field, x, w)
+    g = ff_matvec(field, x.T.copy(), e)
+
+    config = _config(
+        "tcp", workers=_specs(), backend_options={"straggle_scale": 0.01}
+    )
+    n_rounds = 2 * ROUNDS
+
+    def run():
+        import time as _time
+
+        with Session.create(config) as sess:
+            sess.load(x)
+            t0 = _time.perf_counter()
+            outs = []
+            for _ in range(ROUNDS):
+                outs.append(sess.submit_matvec(w).result())
+                outs.append(sess.submit_matvec(e, transpose=True).result())
+            return outs, _time.perf_counter() - t0
+
+    outs, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    exact = sum(
+        np.array_equal(vec, z if i % 2 == 0 else g) for i, vec in enumerate(outs)
+    )
+    record_metric("tcp_decode_success_rate", exact / n_rounds)
+    record_metric("tcp_rounds_per_s", n_rounds / elapsed)
+    assert exact == n_rounds

@@ -31,6 +31,12 @@ every request (and again, against ground truth, in
 Set ``SERVE_REPORT_OUT=<path>`` to dump the batched gateway's full
 :class:`~repro.serve.gateway.ServeReport` as JSON (the CI
 ``bench-serving`` job uploads it as an artifact).
+
+The ``bench-tcp`` CI job additionally replays the mixed trace through
+a deadline-batched gateway over a **real loopback TCP fleet**
+(``test_tcp_gateway_completes_mixed_trace``): served results must stay
+byte-identical to the simulated gateway's, and the served fraction is
+gated as ``tcp_serving_served_fraction``.
 """
 
 import json
@@ -53,15 +59,17 @@ WINDOW = 16
 PIPELINE_DEPTH = 8
 
 
-def _serve(cfg, *, policy, options, max_inflight=1):
+def _serve(cfg, *, policy, options, max_inflight=1, backend="sim", n_requests=N_REQUESTS):
     """Run one gateway variant over the canonical trace; returns
     (report, results-by-request-id)."""
-    session_cfg = serving_config(cfg, max_inflight_rounds=max_inflight)
+    session_cfg = serving_config(
+        cfg, max_inflight_rounds=max_inflight, backend=backend
+    )
     with Session.create(session_cfg) as sess:
         x = sess.field.random(SERVING_SCALE, np.random.default_rng(0))
         sess.load(x)
         generator, requests = make_serving_workload(
-            sess.field, SERVING_SCALE, n_requests=N_REQUESTS
+            sess.field, SERVING_SCALE, n_requests=n_requests
         )
         gateway = Gateway(
             sess,
@@ -146,6 +154,38 @@ def test_serving_p99_speedup_and_parity(cfg):
         f"serial p99 {serial_report.p99:.4f}s vs batched "
         f"{batched_report.p99:.4f}s ({speedup:.2f}x)"
     )
+
+
+def test_tcp_gateway_completes_mixed_trace(cfg):
+    """The distributed acceptance pin: the deadline-batched gateway
+    replays a (smaller) mixed Poisson+burst trace over a real loopback
+    TCP fleet. Every request terminates, the served fraction clears
+    the gated baseline, and every result served by both the tcp and
+    the simulated gateway is byte-identical — the substrate can change
+    the timing, never a byte of an answer."""
+    n = 120
+    sim_report, sim_results = _serve(
+        cfg, policy="hybrid",
+        options={"window": WINDOW, "safety": 2.0, "linger": 0.02},
+        n_requests=n,
+    )
+    tcp_report, tcp_results = _serve(
+        cfg, policy="hybrid",
+        options={"window": WINDOW, "safety": 2.0, "linger": 0.02},
+        backend="tcp", n_requests=n,
+    )
+
+    assert tcp_report.total == n
+    assert len(tcp_report.served) + tcp_report.shed == n
+    served_fraction = len(tcp_report.served) / n
+    record_metric("tcp_serving_served_fraction", served_fraction)
+    assert served_fraction >= 0.8, tcp_report.summary()
+
+    common = set(tcp_results) & set(sim_results)
+    assert common, "the two gateways served no request in common"
+    for rid in common:
+        assert tcp_results[rid].tobytes() == sim_results[rid].tobytes()
+    assert sim_report.total == n  # both replays saw the identical trace
 
 
 @pytest.mark.parametrize("variant", ["serial", "pipelined", "batched"])

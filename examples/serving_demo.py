@@ -13,7 +13,12 @@ one Byzantine):
 
 Usage::
 
-    python examples/serving_demo.py [--requests N]
+    python examples/serving_demo.py [--requests N] [--backend sim|tcp]
+
+``--backend tcp`` serves the same trace over a *real* loopback socket
+fleet (12 worker daemons speaking the binary wire protocol, spawned
+automatically) — the gateway, session and masters are unchanged; only
+the registry name differs, and latencies become wall-clock.
 
 Every served request is verified (Freivalds) and decoded exactly —
 the demo checks a few against direct field arithmetic at the end.
@@ -34,8 +39,10 @@ from repro.ff import DEFAULT_PRIME, PrimeField, ff_matvec
 from repro.serve import Gateway, GatewayConfig, OpenLoopSource
 
 
-def run_variant(name, cfg, requests, tenant_weights, *, policy, options, inflight=1):
-    session_cfg = serving_config(cfg, max_inflight_rounds=inflight)
+def run_variant(
+    name, cfg, requests, tenant_weights, *, policy, options, inflight=1, backend="sim"
+):
+    session_cfg = serving_config(cfg, max_inflight_rounds=inflight, backend=backend)
     with Session.create(session_cfg) as sess:
         x = sess.field.random(SERVING_SCALE, np.random.default_rng(0))
         sess.load(x)
@@ -56,6 +63,12 @@ def run_variant(name, cfg, requests, tenant_weights, *, policy, options, infligh
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--requests", type=int, default=160)
+    parser.add_argument(
+        "--backend",
+        choices=("sim", "tcp"),
+        default="sim",
+        help="execution substrate (tcp = real loopback socket fleet)",
+    )
     args = parser.parse_args()
 
     cfg = ExperimentConfig()
@@ -68,19 +81,21 @@ def main():
 
     print(
         f"mixed Poisson+burst trace: {len(requests)} requests, "
-        f"tenants {sorted(weights)}"
+        f"tenants {sorted(weights)}, backend {args.backend}"
     )
     print("ServeReport per gateway variant:")
     _, _, serial = run_variant(
-        "serial", cfg, requests, weights, policy="count", options={"window": 1}
+        "serial", cfg, requests, weights,
+        policy="count", options={"window": 1}, backend=args.backend,
     )
     run_variant(
         "pipelined", cfg, requests, weights,
-        policy="count", options={"window": 1}, inflight=8,
+        policy="count", options={"window": 1}, inflight=8, backend=args.backend,
     )
     x, gateway, batched = run_variant(
         "batched", cfg, requests, weights,
         policy="hybrid", options={"window": 16, "safety": 2.0, "linger": 0.02},
+        backend=args.backend,
     )
 
     print(

@@ -107,7 +107,7 @@ class SessionConfig:
         (``"avcc" | "lcc" | "static_vcc" | "uncoded"`` built in).
     backend:
         Registry name of the execution substrate
-        (``"sim" | "threaded" | "process"`` built in).
+        (``"sim" | "threaded" | "process" | "tcp"`` built in).
     prime:
         Field modulus (the paper's ``2**25 - 39`` by default).
     seed:
@@ -134,7 +134,14 @@ class SessionConfig:
         fields (e.g. ``{"worker_sec_per_mac": 300e-9}``).
     backend_options:
         Extra keyword arguments for the backend factory (e.g.
-        ``{"straggle_scale": 0.05}`` for wall-clock backends).
+        ``{"straggle_scale": 0.05}`` for wall-clock backends). The
+        ``"tcp"`` backend's deployment knobs travel here too:
+        ``host``/``port`` (listen address; port 0 = ephemeral),
+        ``connect_timeout`` (seconds to wait for the fleet to
+        register), ``heartbeat_interval``/``heartbeat_timeout``
+        (liveness probing), ``round_timeout`` (per-round collect
+        deadline) and ``spawn_workers``/``spawn_mode`` (self-launch a
+        loopback fleet vs wait for remote daemons).
     """
 
     scheme: SchemeParams

@@ -2,7 +2,7 @@
 
 The session layer resolves ``SessionConfig.backend`` and
 ``SessionConfig.master`` strings through these registries, so the
-string names ``"sim" | "threaded" | "process"`` and
+string names ``"sim" | "threaded" | "process" | "tcp"`` and
 ``"avcc" | "lcc" | "static_vcc" | "uncoded"`` are data, not code —
 a config file can pick any combination, and third parties can plug in
 their own substrate or waiting/verification policy without touching
@@ -175,6 +175,23 @@ def _process_backend(
     )
 
 
+def _tcp_backend(
+    config: "SessionConfig",
+    field: "PrimeField",
+    workers: Sequence["SimWorker"],
+    rng: np.random.Generator,
+) -> "Backend":
+    from repro.runtime.net import TcpCluster
+
+    return TcpCluster(
+        field,
+        workers,
+        rng=rng,
+        cost_model=config.cost_model(),
+        **config.backend_options,
+    )
+
+
 def _avcc_master(
     config: "SessionConfig", backend: "Backend", rng: np.random.Generator
 ) -> object:
@@ -210,6 +227,7 @@ def _uncoded_master(
 register_backend("sim", _sim_backend)
 register_backend("threaded", _threaded_backend)
 register_backend("process", _process_backend)
+register_backend("tcp", _tcp_backend)
 register_master("avcc", _avcc_master)
 register_master("static_vcc", _static_vcc_master)
 register_master("lcc", _lcc_master)

@@ -296,6 +296,11 @@ class MatvecMasterBase:
     ) -> RoundRecord:
         bcast_done = rr.t_start + rr.broadcast_time
         compute_wait = max(0.0, last_used.t_arrival - bcast_done - last_used.comm_time)
+        worker_latencies = tuple(
+            (a.worker_id, max(0.0, a.t_arrival - bcast_done))
+            for a in rr.arrivals
+            if math.isfinite(a.t_arrival)
+        )
         return RoundRecord(
             iteration=self._iteration,
             round_name=round_name,
@@ -310,6 +315,7 @@ class MatvecMasterBase:
             n_rejected=len(rejected),
             rejected_workers=tuple(rejected),
             used_workers=tuple(used),
+            worker_latencies=worker_latencies,
         )
 
     @staticmethod

@@ -255,6 +255,8 @@ def serving_config(
     batch_window: int = 64,
     max_inflight_rounds: int = 1,
     seed_offset: int = 0,
+    backend: str = "sim",
+    backend_options: dict | None = None,
 ) -> SessionConfig:
     """The serving scenario's session: the paper's ``(12, 9, S=1,
     M=1)`` AVCC deployment at the calibrated cost constants, with one
@@ -262,18 +264,24 @@ def serving_config(
     fleet every gateway variant (serial, pipelined, deadline-batched)
     is benchmarked against. ``batch_window`` is kept wide so the
     *gateway's* batch policy, not the session's count trigger, decides
-    round boundaries."""
+    round boundaries. ``backend`` swaps the substrate (``"tcp"``
+    serves the same trace over a real loopback socket fleet);
+    wall-clock backends default to a small ``straggle_scale`` so the
+    injected 5x straggler costs milliseconds, not seconds."""
     specs = _worker_specs(cfg, 1, 1, "reverse", False, None, None)
+    if backend_options is None:
+        backend_options = {} if backend == "sim" else {"straggle_scale": 0.002}
     return SessionConfig(
         scheme=SchemeParams(n=cfg.n_workers, k=cfg.k, s=1, m=1),
         master="avcc",
-        backend="sim",
+        backend=backend,
         prime=DEFAULT_PRIME,
         seed=cfg.seed + seed_offset,
         workers=specs,
         batch_window=batch_window,
         max_inflight_rounds=max_inflight_rounds,
         cost=cfg.cost_dict(),
+        backend_options=backend_options,
     )
 
 

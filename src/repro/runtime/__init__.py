@@ -18,6 +18,13 @@ whether) time is simulated differs. All backends implement the same
 ``ProcessCluster``
     One OS process per worker with shared-memory operand broadcast —
     worker compute escapes the GIL entirely.
+``TcpCluster``
+    Remote worker daemons over real sockets: a framed binary wire
+    protocol with zero-copy numpy payloads, heartbeat-based
+    dead-worker detection (a vanished worker surfaces as a straggler,
+    never a hang), and per-round collect timeouts. The deployment
+    model of the paper's testbed — workers may live on other hosts
+    (``python -m repro.runtime.net.worker``).
 
 Layout
 ------
@@ -30,6 +37,7 @@ Layout
 ``cluster``     the discrete-event backend
 ``threaded``    the thread-pool backend
 ``process``     the shared-memory multiprocessing backend
+``net``         the TCP socket backend (wire protocol, daemons, fleets)
 ``trace``       per-round/per-iteration timing records (drives Fig. 4/5)
 """
 
@@ -61,6 +69,7 @@ from repro.runtime.latency import (
     TraceLatency,
     make_profiles,
 )
+from repro.runtime.net import TcpCluster
 from repro.runtime.process import ProcessCluster
 from repro.runtime.threaded import ThreadedCluster
 from repro.runtime.trace import IterationRecord, RoundRecord, TraceRecorder
@@ -91,6 +100,7 @@ __all__ = [
     "SilentFailure",
     "SimCluster",
     "SimWorker",
+    "TcpCluster",
     "ThreadedCluster",
     "TraceRecorder",
     "WallClockBackend",

@@ -1,0 +1,140 @@
+"""Fleet launching: real socket workers on loopback, in one line.
+
+Tests, examples and benchmarks need a genuine TCP fleet without a
+deployment step. Two spawn modes cover that:
+
+* ``"fork"`` (default, POSIX): each worker is a forked
+  :mod:`multiprocessing` process running
+  :class:`~repro.runtime.net.worker_server.WorkerServer` directly —
+  millisecond startup, no re-import of numpy, but same-host only.
+* ``"subprocess"``: each worker is a fresh interpreter running the
+  real ``python -m repro.runtime.net.worker`` CLI — exactly what a
+  remote host would run, used by the tests that validate the
+  entrypoint itself.
+
+Workers dial the master with retries, so the launch order is
+flexible: either create the (listening) :class:`TcpCluster` first and
+point a fleet at its ephemeral port, or grab a port with
+:func:`free_port`, spawn the fleet, then construct the cluster with
+``spawn_workers=False`` — the workers wait for the master to appear.
+
+:class:`LocalFleet` is a context manager; leaving the block terminates
+every worker process. The :class:`~repro.runtime.net.client.TcpCluster`
+spawns (and owns) one internally when ``spawn_workers=True``, so
+``SessionConfig(backend="tcp")`` needs no launcher at all.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["LocalFleet", "free_port", "spawn_local_workers"]
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """An OS-assigned free TCP port (for spawn-fleet-first flows)."""
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+def _worker_entry(host: str, port: int, worker_id: int, connect_timeout: float) -> None:
+    from repro.runtime.net.worker_server import WorkerServer
+
+    WorkerServer(host, port, worker_id, connect_timeout=connect_timeout).run()
+
+
+class LocalFleet:
+    """A group of locally spawned worker processes (context manager)."""
+
+    def __init__(self, procs: dict[int, object], mode: str):
+        #: worker_id -> process (multiprocessing.Process or Popen)
+        self.procs = procs
+        self.mode = mode
+
+    def pids(self) -> dict[int, int]:
+        return {wid: int(p.pid) for wid, p in self.procs.items()}
+
+    def terminate(self, timeout: float = 2.0) -> None:
+        """Stop every still-running worker (idempotent)."""
+        for proc in self.procs.values():
+            try:
+                proc.terminate()
+            except (OSError, ValueError):  # pragma: no cover - already gone
+                pass
+        for proc in self.procs.values():
+            try:
+                if self.mode == "fork":
+                    proc.join(timeout)
+                    if proc.is_alive():  # pragma: no cover - stuck worker
+                        proc.kill()
+                        proc.join(timeout)
+                else:
+                    proc.wait(timeout)
+            except (OSError, ValueError, subprocess.TimeoutExpired):
+                pass  # pragma: no cover - reaping is best-effort
+
+    def __enter__(self) -> "LocalFleet":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.terminate()
+        return False
+
+
+def spawn_local_workers(
+    host: str,
+    port: int,
+    worker_ids: Sequence[int],
+    *,
+    mode: str = "fork",
+    connect_timeout: float = 30.0,
+) -> LocalFleet:
+    """Spawn one worker daemon per id, all dialing ``host:port``."""
+    if mode not in ("fork", "subprocess"):
+        raise ValueError(f"unknown spawn mode {mode!r} (use 'fork' or 'subprocess')")
+    procs: dict[int, object] = {}
+    if mode == "fork":
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = multiprocessing.get_context()
+        for wid in worker_ids:
+            proc = ctx.Process(
+                target=_worker_entry,
+                args=(host, port, int(wid), connect_timeout),
+                daemon=True,
+            )
+            proc.start()
+            procs[int(wid)] = proc
+    else:
+        import repro
+
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        for wid in worker_ids:
+            procs[int(wid)] = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.runtime.net.worker",
+                    "--host",
+                    host,
+                    "--port",
+                    str(port),
+                    "--worker-id",
+                    str(int(wid)),
+                    "--connect-timeout",
+                    str(connect_timeout),
+                ],
+                env=env,
+            )
+    return LocalFleet(procs, mode)

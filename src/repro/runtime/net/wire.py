@@ -1,0 +1,333 @@
+"""The length-prefixed binary wire protocol of the TCP backend.
+
+Every master↔worker exchange travels as one *frame*::
+
+    preamble (12 bytes, big-endian):
+        magic   2s   b"AV"
+        version B    PROTOCOL_VERSION
+        kind    B    message kind code (see MSG_CODES)
+        crc32   I    CRC-32 of the payload
+        length  I    payload length in bytes
+    payload:
+        header_len  u32
+        header      header_len bytes of UTF-8 JSON (the message fields,
+                    plus "_arrays": [[dtype, shape, nbytes], ...])
+        buffers     the raw array bytes, concatenated in header order
+
+Array payloads (coded shares, broadcast operands, worker results) are
+**not** copied into an intermediate serialization: the sender writes
+each array's buffer straight to the socket after the JSON header
+(:func:`send_frame` hands the kernel a list of memoryviews), and the
+receiver reconstructs arrays as zero-copy views over the received
+payload (:func:`decode_payload` via ``np.frombuffer``) using the
+dtype/shape descriptors from the header.
+
+Integrity and compatibility are checked on every frame: a wrong magic,
+an unknown protocol version, a truncated payload, a CRC mismatch, an
+oversized length or a malformed header all raise :class:`WireError`
+with a message naming what was wrong — a corrupted or non-protocol
+peer can never be silently misread as data.
+
+Message kinds
+-------------
+``hello``          worker → master: ``{worker_id, protocol, pid}``
+``config``         master → worker: ``{q, straggle_scale, factor,
+                   behavior, seed}`` — the fleet description the other
+                   backends apply in-process, shipped over the wire
+``store``          master → worker: ``{name}`` + one share array
+``round``          master → worker: ``{rid, op, payload_key, rhs_key}``
+                   (+ the broadcast operand, when the op has one)
+``result``         worker → master: ``{rid, worker_id, compute_time,
+                   ok, err}`` (+ the result array when ``ok``)
+``cancel``         master → worker: ``{rid}`` — skip this round if it
+                   is still queued
+``heartbeat`` / ``heartbeat_ack``: ``{seq}`` liveness probes
+``shutdown``       master → worker: drain and exit
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import zlib
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.runtime.byzantine import (
+    Behavior,
+    ConstantAttack,
+    Honest,
+    IntermittentAttack,
+    RandomAttack,
+    ReversedValueAttack,
+    SilentFailure,
+)
+
+__all__ = [
+    "MSG_CODES",
+    "PROTOCOL_VERSION",
+    "WireError",
+    "behavior_from_dict",
+    "behavior_to_dict",
+    "decode_payload",
+    "encode_frame",
+    "read_frame",
+    "send_frame",
+    "send_parts",
+]
+
+MAGIC = b"AV"
+PROTOCOL_VERSION = 1
+#: preamble: magic, version, kind code, payload crc32, payload length
+_PREAMBLE = struct.Struct(">2sBBII")
+_HEADER_LEN = struct.Struct(">I")
+#: hard upper bound on one frame's payload (a corrupt length field must
+#: not make the receiver try to allocate the universe)
+MAX_PAYLOAD = 1 << 31
+
+MSG_CODES = {
+    "hello": 1,
+    "config": 2,
+    "store": 3,
+    "round": 4,
+    "result": 5,
+    "cancel": 6,
+    "heartbeat": 7,
+    "heartbeat_ack": 8,
+    "shutdown": 9,
+}
+_CODE_NAMES = {code: name for name, code in MSG_CODES.items()}
+
+
+class WireError(RuntimeError):
+    """A malformed, truncated or incompatible frame."""
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+def _array_parts(arrays: Sequence[np.ndarray]) -> tuple[list[dict], list[memoryview]]:
+    descs, bufs = [], []
+    for arr in arrays:
+        arr = np.ascontiguousarray(arr)
+        descs.append(
+            {"dtype": arr.dtype.str, "shape": list(arr.shape), "nbytes": arr.nbytes}
+        )
+        bufs.append(arr.data.cast("B"))
+    return descs, bufs
+
+
+def encode_frame(
+    kind: str, fields: Mapping[str, Any], arrays: Sequence[np.ndarray] = ()
+) -> list[bytes | memoryview]:
+    """Encode one frame as a list of buffers (preamble+header first,
+    then each array's raw bytes — ready for a scatter-gather send).
+    ``b"".join(...)`` the result to get the frame as one bytes object.
+    """
+    try:
+        code = MSG_CODES[kind]
+    except KeyError:
+        raise WireError(f"unknown message kind {kind!r}") from None
+    descs, bufs = _array_parts(arrays)
+    header = dict(fields)
+    header["_arrays"] = descs
+    header_bytes = json.dumps(header, separators=(",", ":")).encode()
+    head = _HEADER_LEN.pack(len(header_bytes)) + header_bytes
+    length = len(head) + sum(b.nbytes for b in bufs)
+    if length > MAX_PAYLOAD:
+        raise WireError(f"frame payload of {length} bytes exceeds MAX_PAYLOAD")
+    crc = zlib.crc32(head)
+    for buf in bufs:
+        crc = zlib.crc32(buf, crc)
+    preamble = _PREAMBLE.pack(MAGIC, PROTOCOL_VERSION, code, crc, length)
+    return [preamble + head, *bufs]
+
+
+def send_frame(
+    sock: socket.socket,
+    kind: str,
+    fields: Mapping[str, Any],
+    arrays: Sequence[np.ndarray] = (),
+    lock: Any = None,
+) -> None:
+    """Write one frame to ``sock`` (scatter-gather; arrays are never
+    copied into an intermediate buffer). ``lock`` serializes writers
+    when more than one thread sends on the same socket."""
+    send_parts(sock, encode_frame(kind, fields, arrays), lock=lock)
+
+
+def send_parts(
+    sock: socket.socket, parts: list[bytes | memoryview], lock: Any = None
+) -> None:
+    """Write one pre-encoded frame (broadcasts encode once, send to
+    many). ``lock`` serializes concurrent writers on one socket."""
+    if lock is not None:
+        with lock:
+            _send_parts(sock, parts)
+        return
+    _send_parts(sock, parts)
+
+
+def _send_parts(sock: socket.socket, parts: list[bytes | memoryview]) -> None:
+    if hasattr(sock, "sendmsg"):
+        total = sum(
+            p.nbytes if isinstance(p, memoryview) else len(p) for p in parts
+        )
+        sent = sock.sendmsg(parts)
+        if sent == total:
+            return
+        # short gather-write: resume at the offset, still zero-copy —
+        # skip fully-sent parts and sendall the remaining views
+        for part in parts:
+            view = part if isinstance(part, memoryview) else memoryview(part)
+            n = view.nbytes
+            if sent >= n:
+                sent -= n
+                continue
+            sock.sendall(view[sent:] if sent else view)
+            sent = 0
+        return
+    for part in parts:  # pragma: no cover - no-sendmsg fallback
+        sock.sendall(part)
+
+
+# ----------------------------------------------------------------------
+# decoding
+# ----------------------------------------------------------------------
+def _recv_exact(sock: socket.socket, n: int) -> memoryview:
+    buf = bytearray(n)
+    view = memoryview(buf)
+    got = 0
+    while got < n:
+        r = sock.recv_into(view[got:])
+        if r == 0:
+            raise WireError(
+                f"connection closed mid-frame ({got} of {n} bytes received)"
+            )
+        got += r
+    return view
+
+
+def decode_payload(code: int, payload: memoryview) -> tuple[str, dict, list[np.ndarray]]:
+    """Decode one validated payload into ``(kind, fields, arrays)``.
+
+    Arrays are zero-copy views over ``payload``; callers that keep an
+    array beyond the frame's lifetime own the backing buffer through
+    the array itself (numpy holds the reference).
+    """
+    kind = _CODE_NAMES.get(code)
+    if kind is None:
+        raise WireError(f"unknown message code {code}")
+    if len(payload) < _HEADER_LEN.size:
+        raise WireError(f"frame payload of {len(payload)} bytes is too short")
+    (header_len,) = _HEADER_LEN.unpack_from(payload)
+    end = _HEADER_LEN.size + header_len
+    if end > len(payload):
+        raise WireError(
+            f"header length {header_len} exceeds payload of {len(payload)} bytes"
+        )
+    try:
+        header = json.loads(bytes(payload[_HEADER_LEN.size:end]).decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"malformed frame header: {exc}") from None
+    if not isinstance(header, dict) or "_arrays" not in header:
+        raise WireError("frame header is not an object with an '_arrays' entry")
+    descs = header.pop("_arrays")
+    arrays = []
+    offset = end
+    for desc in descs:
+        try:
+            dtype = np.dtype(desc["dtype"])
+            shape = tuple(int(s) for s in desc["shape"])
+            nbytes = int(desc["nbytes"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WireError(f"malformed array descriptor {desc!r}: {exc}") from None
+        if offset + nbytes > len(payload):
+            raise WireError(
+                f"array of {nbytes} bytes overruns payload of {len(payload)} bytes"
+            )
+        try:
+            arrays.append(
+                np.frombuffer(payload[offset:offset + nbytes], dtype=dtype).reshape(shape)
+            )
+        except ValueError as exc:
+            raise WireError(f"array descriptor {desc!r} does not decode: {exc}") from None
+        offset += nbytes
+    if offset != len(payload):
+        raise WireError(
+            f"{len(payload) - offset} trailing bytes after the declared arrays"
+        )
+    return kind, header, arrays
+
+
+def read_frame(sock: socket.socket) -> tuple[str, dict, list[np.ndarray]]:
+    """Read exactly one frame; raises :class:`WireError` on anything
+    that is not a well-formed, checksummed protocol frame."""
+    pre = _recv_exact(sock, _PREAMBLE.size)
+    magic, version, code, crc, length = _PREAMBLE.unpack(pre)
+    if magic != MAGIC:
+        raise WireError(f"bad magic {bytes(magic)!r} (not an AVCC protocol peer?)")
+    if version != PROTOCOL_VERSION:
+        raise WireError(
+            f"protocol version mismatch: peer speaks {version}, "
+            f"this build speaks {PROTOCOL_VERSION}"
+        )
+    if length > MAX_PAYLOAD:
+        raise WireError(f"declared payload of {length} bytes exceeds MAX_PAYLOAD")
+    payload = _recv_exact(sock, length)
+    if zlib.crc32(payload) != crc:
+        raise WireError("payload checksum mismatch (corrupted frame)")
+    return decode_payload(code, payload)
+
+
+# ----------------------------------------------------------------------
+# behaviour descriptions (the CONFIG message's fault-injection half)
+# ----------------------------------------------------------------------
+def behavior_to_dict(behavior: Behavior) -> dict[str, Any]:
+    """Describe a built-in behaviour as plain JSON-able data, so the
+    master can ship the same fleet description the in-process backends
+    apply directly. Custom behaviours cannot travel (they are code,
+    and the wire carries data): raise with a pointer to the daemon's
+    own injection flags."""
+    probability = 1.0
+    if isinstance(behavior, IntermittentAttack):
+        probability = behavior.probability
+        behavior = behavior.inner
+    if isinstance(behavior, Honest):
+        return {"kind": "honest"}
+    if isinstance(behavior, ReversedValueAttack):
+        return {"kind": "reverse", "value": behavior.c, "probability": probability}
+    if isinstance(behavior, ConstantAttack):
+        return {"kind": "constant", "value": behavior.value, "probability": probability}
+    if isinstance(behavior, RandomAttack):
+        return {"kind": "random", "probability": probability}
+    if isinstance(behavior, SilentFailure):
+        return {"kind": "silent"}
+    raise ValueError(
+        f"behaviour {type(behavior).__name__} is not wire-serializable; the tcp "
+        "backend ships only the built-in behaviours — start the worker daemon "
+        "with its own --behavior flag for custom injection"
+    )
+
+
+def behavior_from_dict(desc: Mapping[str, Any]) -> Behavior:
+    """Inverse of :func:`behavior_to_dict` (worker side)."""
+    kind = desc.get("kind", "honest")
+    probability = float(desc.get("probability", 1.0))
+    if kind == "honest":
+        return Honest()
+    if kind == "silent":
+        return SilentFailure()
+    if kind == "reverse":
+        inner: Behavior = ReversedValueAttack(c=int(desc.get("value", 1)))
+    elif kind == "constant":
+        inner = ConstantAttack(value=int(desc.get("value", 1000)))
+    elif kind == "random":
+        inner = RandomAttack()
+    else:
+        raise WireError(f"unknown behaviour kind {kind!r} in config")
+    if probability < 1.0:
+        return IntermittentAttack(inner, probability=probability)
+    return inner

@@ -1,0 +1,77 @@
+"""Worker daemon entrypoint: ``python -m repro.runtime.net.worker``.
+
+Starts one :class:`~repro.runtime.net.worker_server.WorkerServer` that
+dials the master and serves rounds until shut down. On a real
+deployment you run one of these per host::
+
+    python -m repro.runtime.net.worker --host MASTER --port 9042 --worker-id 3
+
+Field modulus, straggler factor and behaviour normally arrive from the
+master's ``config`` frame (so every backend runs the same fleet
+description); the injection flags below *override* the master's config
+— they exist so tests can plant a straggler or a Byzantine worker at
+the worker side, without the master's cooperation.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.api.config import BEHAVIOR_KINDS, WorkerSpec
+from repro.runtime.net.worker_server import WorkerServer
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1", help="master address")
+    parser.add_argument("--port", type=int, required=True, help="master port")
+    parser.add_argument("--worker-id", type=int, required=True, help="stable worker id")
+    parser.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to keep retrying the master before giving up",
+    )
+    inject = parser.add_argument_group(
+        "fault injection (overrides the master's config)"
+    )
+    inject.add_argument(
+        "--straggler-factor", type=float, default=None, help="compute slowdown (>= 1)"
+    )
+    inject.add_argument(
+        "--behavior", choices=BEHAVIOR_KINDS, default=None, help="Byzantine behaviour"
+    )
+    inject.add_argument(
+        "--attack-value", type=int, default=1, help="constant/reverse attack parameter"
+    )
+    inject.add_argument(
+        "--probability", type=float, default=1.0, help="per-round attack probability"
+    )
+    inject.add_argument(
+        "--straggle-scale", type=float, default=None, help="seconds per factor-above-one"
+    )
+    args = parser.parse_args(argv)
+
+    behavior = None
+    if args.behavior is not None:
+        behavior = WorkerSpec(
+            straggler_factor=max(1.0, args.straggler_factor or 1.0),
+            behavior=args.behavior,
+            attack_value=args.attack_value,
+            probability=args.probability,
+        ).build_behavior()
+    server = WorkerServer(
+        args.host,
+        args.port,
+        args.worker_id,
+        straggler_factor=args.straggler_factor,
+        behavior=behavior,
+        straggle_scale=args.straggle_scale,
+        connect_timeout=args.connect_timeout,
+    )
+    server.run()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,295 @@
+"""The remote worker daemon of the TCP backend.
+
+One :class:`WorkerServer` is one worker node: it dials the master's
+listening socket, registers with a ``hello`` frame, receives its
+``config`` (field modulus, straggler factor, behaviour, straggle
+scale — the same fleet description the in-process backends apply
+directly), then serves the store/round protocol until it is shut down
+or the connection drops.
+
+Two threads split the work so the daemon never deadlocks and never
+goes dark:
+
+* the **receiver** drains the socket continuously — heartbeats are
+  acknowledged inline (so a worker grinding through a long compute, or
+  sleeping out an injected straggle, still proves liveness), cancels
+  are noted, and store/round messages are queued for the compute loop.
+  Draining eagerly also means the master's share distribution can
+  never block on a worker that is busy computing.
+* the **compute loop** executes rounds FIFO through the same
+  :func:`~repro.runtime.backend.run_job_compute` every other backend
+  uses, applies the configured straggler sleep and Byzantine
+  behaviour, and transmits ``result`` frames (a silent behaviour
+  reports ``ok=False`` so the master records a never-arrived worker
+  instead of waiting out a heartbeat timeout; a computation error is
+  reported crash-stop, exactly like the process backend).
+
+Fault injection for tests can come from either end: the master's
+``config`` carries the session's :class:`~repro.api.config.WorkerSpec`
+description, and the daemon's own CLI flags
+(``python -m repro.runtime.net.worker --behavior reverse ...``)
+override it — that is how a multi-host test injects a fault at the
+worker side without the master's cooperation.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import threading
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.ff.field import DEFAULT_PRIME, PrimeField
+from repro.runtime.backend import RoundJob, run_job_compute
+from repro.runtime.byzantine import Behavior
+from repro.runtime.net.wire import (
+    PROTOCOL_VERSION,
+    WireError,
+    behavior_from_dict,
+    read_frame,
+    send_frame,
+)
+
+__all__ = ["WorkerServer"]
+
+
+class WorkerServer:
+    """One worker node serving the wire protocol.
+
+    Parameters left as ``None`` are taken from the master's ``config``
+    frame; explicitly passed values (the daemon CLI's injection flags)
+    take precedence over it.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        worker_id: int,
+        *,
+        straggler_factor: float | None = None,
+        behavior: Behavior | None = None,
+        straggle_scale: float | None = None,
+        q: int | None = None,
+        connect_timeout: float = 30.0,
+    ):
+        if worker_id < 0:
+            raise ValueError(f"worker_id must be >= 0, got {worker_id}")
+        self.host = host
+        self.port = port
+        self.worker_id = worker_id
+        self._cli_factor = straggler_factor
+        self._cli_behavior = behavior
+        self._cli_scale = straggle_scale
+        self._cli_q = q
+        self.connect_timeout = connect_timeout
+
+        self.factor = 1.0
+        self.behavior: Behavior | None = None
+        self.straggle_scale = 0.05
+        self.field = PrimeField(q or DEFAULT_PRIME)
+        self.payload: dict[str, np.ndarray] = {}
+        self._rng = np.random.default_rng(worker_id)
+        self._sock: socket.socket | None = None
+        self._send_lock = threading.Lock()
+        self._inbox: queue.Queue[tuple[str, dict, list[np.ndarray]] | None] = queue.Queue()
+        #: rids cancelled but not yet seen by the compute loop. Bounded:
+        #: cancels at or below the served watermark are dropped on
+        #: arrival (the round already finished here), and _serve_round
+        #: prunes everything up to its own rid — a long-lived daemon
+        #: never accumulates stale cancellations. The lock covers the
+        #: receiver-thread add racing the compute-thread prune.
+        self._cancelled: set[int] = set()
+        self._cancel_lock = threading.Lock()
+        self._served_rid = 0
+        self._stopping = threading.Event()
+
+    # ------------------------------------------------------------------
+    # connection lifecycle
+    # ------------------------------------------------------------------
+    def _dial_once(self) -> socket.socket:
+        # IP-literal hosts skip getaddrinfo: fork-mode fleets may fork
+        # while another thread of the parent sits inside a resolver
+        # call holding a libc-internal lock, and a child that calls
+        # getaddrinfo then deadlocks on the orphaned lock
+        try:
+            socket.inet_pton(socket.AF_INET, self.host)
+        except OSError:
+            return socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout
+            )
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.settimeout(self.connect_timeout)
+            sock.connect((self.host, self.port))
+        except OSError:
+            sock.close()
+            raise
+        return sock
+
+    def _connect(self) -> socket.socket:
+        """Dial the master, retrying until ``connect_timeout`` — the
+        fleet launcher may start workers before the master listens."""
+        deadline = time.monotonic() + self.connect_timeout
+        delay = 0.01
+        while True:
+            try:
+                sock = self._dial_once()
+                sock.settimeout(None)
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                return sock
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(delay)
+                delay = min(0.2, delay * 2)
+
+    def _apply_config(self, fields: dict) -> None:
+        q = self._cli_q if self._cli_q is not None else int(fields.get("q", self.field.q))
+        self.field = PrimeField(q)
+        self.straggle_scale = float(
+            self._cli_scale
+            if self._cli_scale is not None
+            else fields.get("straggle_scale", self.straggle_scale)
+        )
+        self.factor = float(
+            self._cli_factor
+            if self._cli_factor is not None
+            else fields.get("factor", 1.0)
+        )
+        if self._cli_behavior is not None:
+            self.behavior = self._cli_behavior
+        else:
+            self.behavior = behavior_from_dict(fields.get("behavior", {}))
+        self._rng = np.random.default_rng(int(fields.get("seed", self.worker_id)))
+
+    def run(self) -> None:
+        """Register with the master and serve until shutdown/EOF."""
+        self._sock = self._connect()
+        try:
+            send_frame(
+                self._sock,
+                "hello",
+                {
+                    "worker_id": self.worker_id,
+                    "protocol": PROTOCOL_VERSION,
+                    "pid": os.getpid(),
+                },
+                lock=self._send_lock,
+            )
+            kind, fields, _ = read_frame(self._sock)
+            if kind != "config":
+                raise WireError(f"expected a config frame after hello, got {kind!r}")
+            self._apply_config(fields)
+            reader = threading.Thread(target=self._receive_loop, daemon=True)
+            reader.start()
+            self._compute_loop()
+        finally:
+            self._stopping.set()
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    # ------------------------------------------------------------------
+    # receiver thread: keep the socket drained, answer liveness probes
+    # ------------------------------------------------------------------
+    def _receive_loop(self) -> None:
+        assert self._sock is not None
+        try:
+            while not self._stopping.is_set():
+                kind, fields, arrays = read_frame(self._sock)
+                if kind == "heartbeat":
+                    self._send("heartbeat_ack", {"seq": fields.get("seq", 0)})
+                elif kind == "cancel":
+                    rid = int(fields["rid"])
+                    with self._cancel_lock:
+                        if rid > self._served_rid:  # else: already done
+                            self._cancelled.add(rid)
+                elif kind == "shutdown":
+                    self._inbox.put(None)
+                    return
+                else:
+                    self._inbox.put((kind, fields, arrays))
+        except (WireError, OSError, ConnectionError):
+            # master went away (or spoke garbage): drain and exit
+            self._inbox.put(None)
+
+    def _send(self, kind: str, fields: dict, arrays: tuple = ()) -> bool:
+        assert self._sock is not None
+        try:
+            send_frame(self._sock, kind, fields, arrays, lock=self._send_lock)
+            return True
+        except (OSError, ConnectionError):
+            self._stopping.set()
+            return False
+
+    # ------------------------------------------------------------------
+    # compute loop
+    # ------------------------------------------------------------------
+    def _compute_loop(self) -> None:
+        while True:
+            item = self._inbox.get()
+            if item is None:
+                return
+            kind, fields, arrays = item
+            if kind == "store":
+                # copy out of the frame buffer: shares live for the
+                # worker's whole lifetime, frames do not
+                self.payload[str(fields["name"])] = np.array(arrays[0], copy=True)
+            elif kind == "round":
+                self._serve_round(fields, arrays)
+            # anything else is ignored: forward compatibility
+
+    def _is_cancelled(self, rid: int) -> bool:
+        with self._cancel_lock:
+            return rid in self._cancelled
+
+    def _serve_round(self, fields: dict, arrays: list[np.ndarray]) -> None:
+        rid = int(fields["rid"])
+        try:
+            self._serve_round_inner(rid, fields, arrays)
+        finally:
+            # rounds are served in dispatch order, so anything at or
+            # below this rid can no longer be usefully cancelled
+            with self._cancel_lock:
+                self._served_rid = max(self._served_rid, rid)
+                self._cancelled = {r for r in self._cancelled if r > rid}
+
+    def _serve_round_inner(
+        self, rid: int, fields: dict, arrays: list[np.ndarray]
+    ) -> None:
+        if self._is_cancelled(rid):
+            return
+        if self.factor > 1.0:
+            time.sleep((self.factor - 1.0) * self.straggle_scale)
+        if self._is_cancelled(rid):  # cancelled while straggling
+            return
+        value: np.ndarray | None = None
+        err: str | None = None
+        t0 = time.perf_counter()
+        try:
+            job = RoundJob(
+                op=str(fields["op"]),
+                payload_key=str(fields["payload_key"]),
+                operand=arrays[0] if arrays else None,
+                rhs_key=fields.get("rhs_key"),
+            )
+            honest = run_job_compute(self.field, self.payload, job)
+            assert self.behavior is not None
+            value = self.behavior.corrupt(honest, self.field, self._rng)
+        except Exception as exc:  # crash-stop: report, stay alive
+            value, err = None, repr(exc)
+        compute_time = time.perf_counter() - t0
+        meta: dict[str, Any] = {
+            "rid": rid,
+            "worker_id": self.worker_id,
+            "compute_time": compute_time,
+            "ok": value is not None,
+            "err": err,
+        }
+        self._send("result", meta, (value,) if value is not None else ())

@@ -36,6 +36,10 @@ class RoundRecord:
     n_rejected: int            # arrivals that failed verification
     rejected_workers: tuple[int, ...] = ()
     used_workers: tuple[int, ...] = ()
+    #: (worker_id, broadcast-done -> arrival latency) for every worker
+    #: that responded — the per-worker slowdown observation the serving
+    #: layer's trace recorder dumps back into replayable profiles
+    worker_latencies: tuple[tuple[int, float], ...] = ()
 
     @property
     def duration(self) -> float:

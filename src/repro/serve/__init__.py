@@ -48,6 +48,11 @@ Four modules:
     The event loop tying it together against sim-virtual or wall-clock
     time, and the :class:`~repro.serve.gateway.ServeReport` metrics
     surface.
+:mod:`repro.serve.recorder`
+    The capture side of trace replay: dump a live gateway run
+    (arrivals + observed per-worker slowdowns) back into the
+    ``TraceArrivals``/``TraceLatency`` format, so incidents become
+    reproducible benchmarks.
 """
 
 from repro.serve.batcher import (
@@ -63,6 +68,7 @@ from repro.serve.batcher import (
 )
 from repro.serve.gateway import Gateway, GatewayConfig, RequestOutcome, ServeReport
 from repro.serve.queueing import FairQueue, TenantStats
+from repro.serve.recorder import GatewayRecorder, RecordedTrace
 from repro.serve.workload import (
     ArrivalProcess,
     BurstyArrivals,
@@ -87,11 +93,13 @@ __all__ = [
     "FairQueue",
     "Gateway",
     "GatewayConfig",
+    "GatewayRecorder",
     "HybridPolicy",
     "MicroBatcher",
     "OpenLoopSource",
     "PendingBatch",
     "PoissonArrivals",
+    "RecordedTrace",
     "Request",
     "RequestOutcome",
     "ServeReport",

@@ -1,0 +1,189 @@
+"""Trace capture: dump a live gateway run back into replayable form.
+
+The serving stack can *replay* recorded traces — worker slowdowns
+through :class:`~repro.runtime.latency.TraceLatency` profiles, request
+traffic through :class:`~repro.serve.workload.TraceArrivals` — but
+until now the traces had to come from somewhere else. The
+:class:`GatewayRecorder` closes the loop: after a gateway run it reads
+the :class:`~repro.serve.gateway.ServeReport` (what traffic arrived)
+and the session's :class:`~repro.api.session.SessionStats` (what each
+worker's latency looked like, via the round records'
+``worker_latencies``) and emits a :class:`RecordedTrace` — plain,
+JSON-able data in exactly the factors-on-a-base-interval format the
+replay classes consume. A production incident becomes a reproducible
+benchmark::
+
+    report = gateway.run()
+    trace = GatewayRecorder().capture(report, session.stats)
+    path.write_text(json.dumps(trace.to_dict()))
+
+    # later, elsewhere: replay the same arrival schedule ...
+    trace = RecordedTrace.from_dict(json.loads(path.read_text()))
+    generator = WorkloadGenerator(field, shape, tenants,
+                                  arrivals=trace.arrival_process(), seed=7)
+    # ... against workers pinned to the observed slowdowns
+    profiles = trace.latency_profiles(n_workers)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Any, Mapping
+
+from repro.api.session import SessionStats
+from repro.runtime.latency import DeterministicLatency, LatencyModel, TraceLatency
+from repro.serve.gateway import ServeReport
+from repro.serve.workload import TraceArrivals
+
+__all__ = ["GatewayRecorder", "RecordedTrace"]
+
+#: floor for recorded factors: TraceLatency/TraceArrivals require
+#: strictly positive samples, but two requests can arrive in the same
+#: instant and the fastest worker defines slowdown 1.0 exactly
+_MIN_FACTOR = 1e-9
+
+
+@dataclass(frozen=True)
+class RecordedTrace:
+    """One gateway run, reduced to replayable factors (JSON-able).
+
+    Attributes
+    ----------
+    base_interval:
+        Seconds that an arrival factor of 1.0 corresponds to (the
+        run's mean interarrival gap unless the recorder was pinned).
+    arrival_gaps:
+        Interarrival gaps as multiplicative factors on
+        ``base_interval``, in arrival order; the first gap is measured
+        from trace t=0.
+    worker_slowdowns:
+        ``worker_id -> per-round slowdown factors`` (1.0 = that
+        round's fastest responder), one entry per round the worker
+        responded in.
+    """
+
+    base_interval: float
+    arrival_gaps: tuple[float, ...]
+    worker_slowdowns: Mapping[int, tuple[float, ...]] = dc_field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.base_interval <= 0:
+            raise ValueError("base_interval must be positive")
+        object.__setattr__(self, "arrival_gaps", tuple(float(g) for g in self.arrival_gaps))
+        object.__setattr__(
+            self,
+            "worker_slowdowns",
+            {int(w): tuple(float(f) for f in fs) for w, fs in dict(self.worker_slowdowns).items()},
+        )
+
+    # ------------------------------------------------------------------
+    # replay surfaces
+    # ------------------------------------------------------------------
+    def arrival_process(self, start: int = 0) -> TraceArrivals:
+        """The recorded traffic as a wrap-around arrival process."""
+        return TraceArrivals(
+            trace=TraceLatency(self.arrival_gaps, start=start),
+            base_interval=self.base_interval,
+        )
+
+    def replay_arrivals(self, start: float = 0.0) -> list[float]:
+        """The absolute arrival times the recorded gaps reproduce."""
+        out, t = [], start
+        for gap in self.arrival_gaps:
+            t += gap * self.base_interval
+            out.append(t)
+        return out
+
+    def latency_profiles(self, n: int, default_factor: float = 1.0) -> list[LatencyModel]:
+        """Per-worker replay profiles for an ``n``-worker fleet:
+        recorded workers replay their observed slowdown sequence
+        (:class:`TraceLatency`); unrecorded ids get a deterministic
+        ``default_factor``."""
+        out: list[LatencyModel] = []
+        for wid in range(n):
+            factors = self.worker_slowdowns.get(wid)
+            if factors:
+                out.append(TraceLatency(factors))
+            else:
+                out.append(DeterministicLatency(factor=default_factor))
+        return out
+
+    # ------------------------------------------------------------------
+    # dict round-trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "base_interval": self.base_interval,
+            "arrival_gaps": list(self.arrival_gaps),
+            "worker_slowdowns": {
+                str(w): list(fs) for w, fs in sorted(self.worker_slowdowns.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RecordedTrace":
+        return cls(
+            base_interval=float(data["base_interval"]),
+            arrival_gaps=tuple(data["arrival_gaps"]),
+            worker_slowdowns={
+                int(w): tuple(fs)
+                for w, fs in dict(data.get("worker_slowdowns", {})).items()
+            },
+        )
+
+
+class GatewayRecorder:
+    """Reduce one gateway run to a :class:`RecordedTrace`.
+
+    Parameters
+    ----------
+    base_interval:
+        Pin the factor scale (seconds per 1.0 arrival factor). The
+        default derives it from the run itself — the mean observed
+        interarrival gap — so recorded factors hover around 1.0 and a
+        replayer can rescale traffic intensity by choosing its own
+        base interval.
+    """
+
+    def __init__(self, base_interval: float | None = None):
+        if base_interval is not None and base_interval <= 0:
+            raise ValueError("base_interval must be positive")
+        self.base_interval = base_interval
+
+    def capture(self, report: ServeReport, stats: SessionStats) -> RecordedTrace:
+        """Record the run's arrivals and per-worker slowdowns.
+
+        Every request that *arrived* is recorded — served or shed; the
+        shed ones are part of the traffic a replay must reproduce.
+        Worker slowdowns come from the executed rounds'
+        ``worker_latencies``: within each round, a worker's factor is
+        its broadcast-to-arrival latency over the round's fastest
+        responder (1.0 = fastest), so calibration-free wall-clock runs
+        and simulated runs record comparably.
+        """
+        arrivals = sorted(o.arrival for o in report.outcomes)
+        gaps = []
+        prev = 0.0
+        for t in arrivals:
+            gaps.append(max(t - prev, 0.0))
+            prev = t
+        positive = [g for g in gaps if g > 0]
+        base = self.base_interval
+        if base is None:
+            base = (sum(positive) / len(positive)) if positive else 1.0
+        arrival_gaps = tuple(max(g / base, _MIN_FACTOR) for g in gaps)
+
+        slowdowns: dict[int, list[float]] = {}
+        for record in stats.records:
+            lats = [(wid, lat) for wid, lat in record.worker_latencies if lat >= 0.0]
+            if not lats:
+                continue
+            fastest = min(lat for _, lat in lats)
+            for wid, lat in lats:
+                factor = (lat / fastest) if fastest > 0 else 1.0
+                slowdowns.setdefault(wid, []).append(max(factor, _MIN_FACTOR))
+        return RecordedTrace(
+            base_interval=base,
+            arrival_gaps=arrival_gaps,
+            worker_slowdowns={w: tuple(fs) for w, fs in slowdowns.items()},
+        )

@@ -6,9 +6,9 @@ tests pin that down:
 
 * **parity** — for the same seed, scheme and Byzantine/straggler
   assignment, the decoded vectors of every master must be
-  byte-identical across the simulator, the thread pool and the process
-  pool (exact field arithmetic makes this a hard equality, regardless
-  of real-execution arrival order);
+  byte-identical across the simulator, the thread pool, the process
+  pool and the TCP socket fleet (exact field arithmetic makes this a
+  hard equality, regardless of real-execution arrival order);
 * **early stopping** — once the verified-recovery threshold is met the
   round is cancelled, so the real backends must not pay a straggler's
   tail latency the master does not need.
@@ -35,14 +35,15 @@ from repro.runtime import (
     SilentFailure,
     SimCluster,
     SimWorker,
+    TcpCluster,
     ThreadedCluster,
     make_profiles,
 )
 
 F = PrimeField()  # the paper's field: exactness must hold at full size
 
-BACKENDS = ["sim", "threaded", "process"]
-REAL_BACKENDS = ["threaded", "process"]
+BACKENDS = ["sim", "threaded", "process", "tcp"]
+REAL_BACKENDS = ["threaded", "process", "tcp"]
 
 #: (straggler_factors, behaviors) — each must stay within the
 #: (n=12, k=9, s=1, m=2) scheme's tolerance so decoding is exact
@@ -70,6 +71,8 @@ def _make_backend(kind, n, straggler_factors, behaviors, straggle_scale=0.01):
         return ThreadedCluster(F, workers, straggle_scale=straggle_scale)
     if kind == "process":
         return ProcessCluster(F, workers, straggle_scale=straggle_scale)
+    if kind == "tcp":
+        return TcpCluster(F, workers, straggle_scale=straggle_scale)
     raise ValueError(kind)
 
 

@@ -1,0 +1,149 @@
+"""Trace round-trip: record a live gateway run, replay it.
+
+The recorder must dump a run's request arrivals and observed
+per-worker slowdowns into exactly the ``TraceArrivals`` /
+``TraceLatency`` format the serving and runtime layers replay — and
+the replay must reproduce the recorded schedule.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.experiments.common import (
+    SERVING_SCALE,
+    ExperimentConfig,
+    make_serving_workload,
+    serving_config,
+)
+from repro.runtime.latency import DeterministicLatency, TraceLatency
+from repro.serve import (
+    Gateway,
+    GatewayConfig,
+    GatewayRecorder,
+    OpenLoopSource,
+    RecordedTrace,
+    TraceArrivals,
+    WorkloadGenerator,
+)
+
+
+def _run_gateway(n_requests=60):
+    cfg = ExperimentConfig()
+    session_cfg = serving_config(cfg)
+    with Session.create(session_cfg) as sess:
+        x = sess.field.random(SERVING_SCALE, np.random.default_rng(0))
+        sess.load(x)
+        generator, requests = make_serving_workload(
+            sess.field, SERVING_SCALE, n_requests=n_requests
+        )
+        gateway = Gateway(
+            sess,
+            OpenLoopSource(requests),
+            GatewayConfig(tenant_weights=generator.tenant_weights),
+        )
+        report = gateway.run()
+        stats = sess.stats
+    return report, stats, requests, generator
+
+
+class TestRecorderRoundTrip:
+    def test_recorded_arrivals_replay_exactly(self):
+        report, stats, requests, _ = _run_gateway()
+        trace = GatewayRecorder().capture(report, stats)
+
+        original = sorted(r.arrival for r in requests)
+        assert len(trace.arrival_gaps) == len(original)
+        np.testing.assert_allclose(trace.replay_arrivals(), original, rtol=1e-9)
+
+        # through the actual replay classes: TraceArrivals regenerates
+        # the same interarrival schedule, independent of the rng
+        process = trace.arrival_process()
+        assert isinstance(process, TraceArrivals)
+        rng = np.random.default_rng(123)
+        t, replayed = 0.0, []
+        for _ in original:
+            t += process.interarrival(t, rng)
+            replayed.append(t)
+        np.testing.assert_allclose(replayed, original, rtol=1e-9)
+
+    def test_recorded_run_replays_through_a_fresh_gateway(self):
+        """The full loop: record a run, feed the recorded arrival
+        process to a new WorkloadGenerator, serve the replayed trace —
+        every request terminates."""
+        report, stats, requests, generator = _run_gateway(n_requests=40)
+        trace = GatewayRecorder().capture(report, stats)
+
+        cfg = ExperimentConfig()
+        session_cfg = serving_config(cfg, seed_offset=1)
+        with Session.create(session_cfg) as sess:
+            x = sess.field.random(SERVING_SCALE, np.random.default_rng(0))
+            sess.load(x)
+            replay_gen = WorkloadGenerator(
+                sess.field,
+                SERVING_SCALE,
+                tenants=generator.tenants,
+                arrivals=trace.arrival_process(),
+                seed=99,
+            )
+            replayed = replay_gen.generate(len(requests))
+            np.testing.assert_allclose(
+                [r.arrival for r in replayed],
+                sorted(r.arrival for r in requests),
+                rtol=1e-9,
+            )
+            gateway = Gateway(
+                sess,
+                OpenLoopSource(replayed),
+                GatewayConfig(tenant_weights=replay_gen.tenant_weights),
+            )
+            replay_report = gateway.run()
+        assert replay_report.total == len(requests)
+        assert len(replay_report.served) + replay_report.shed == len(requests)
+
+    def test_worker_slowdowns_become_latency_profiles(self):
+        report, stats, _, _ = _run_gateway()
+        trace = GatewayRecorder().capture(report, stats)
+
+        # the serving fleet has a 5x straggler at worker 0: its
+        # observed slowdown must dominate the fleet's
+        assert trace.worker_slowdowns, "no worker latencies recorded"
+        means = {
+            wid: float(np.mean(fs)) for wid, fs in trace.worker_slowdowns.items()
+        }
+        assert means[0] == max(means.values())
+        assert means[0] > 2.0
+
+        profiles = trace.latency_profiles(12)
+        assert len(profiles) == 12
+        assert isinstance(profiles[0], TraceLatency)
+        # a recorded profile replays its factors verbatim
+        rng = np.random.default_rng(0)
+        expected = [f * 0.5 for f in trace.worker_slowdowns[0]]
+        got = [profiles[0].sample(0.5, rng) for _ in expected]
+        np.testing.assert_allclose(got, expected, rtol=1e-12)
+        # unrecorded ids fall back to a deterministic nominal profile
+        silent_ids = set(range(12)) - set(trace.worker_slowdowns)
+        for wid in silent_ids:
+            assert isinstance(profiles[wid], DeterministicLatency)
+
+    def test_json_round_trip(self):
+        report, stats, _, _ = _run_gateway(n_requests=20)
+        trace = GatewayRecorder().capture(report, stats)
+        blob = json.dumps(trace.to_dict())
+        back = RecordedTrace.from_dict(json.loads(blob))
+        assert back == trace
+
+    def test_pinned_base_interval(self):
+        report, stats, _, _ = _run_gateway(n_requests=20)
+        trace = GatewayRecorder(base_interval=0.01).capture(report, stats)
+        assert trace.base_interval == 0.01
+        np.testing.assert_allclose(
+            trace.replay_arrivals(),
+            sorted(o.arrival for o in report.outcomes),
+            rtol=1e-9,
+        )
+        with pytest.raises(ValueError, match="base_interval"):
+            GatewayRecorder(base_interval=0.0)

@@ -33,7 +33,7 @@ class TestExamples:
         assert "REJECTED (Byzantine)" in out
         assert "never waited for" in out
 
-    @pytest.mark.parametrize("backend", ["threaded", "process"])
+    @pytest.mark.parametrize("backend", ["threaded", "process", "tcp"])
     def test_quickstart_real_backends(self, backend):
         out = _run("quickstart.py", backend)
         assert f"backend: {backend}" in out
@@ -58,6 +58,13 @@ class TestExamples:
         assert "serial" in out and "pipelined" in out and "batched" in out
         assert "SLO attainment" in out
         assert "fairness (Jain, weighted)" in out
+        assert "bit-exact against direct arithmetic" in out
+
+    def test_serving_demo_over_tcp(self):
+        """The same gateway demo over a real loopback socket fleet."""
+        out = _run("serving_demo.py", "--backend", "tcp", "--requests", "40")
+        assert "backend tcp" in out
+        assert "ServeReport per gateway variant" in out
         assert "bit-exact against direct arithmetic" in out
 
     def test_private_inference(self):
