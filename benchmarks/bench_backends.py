@@ -16,13 +16,17 @@ reports real wall-clock for each. The deployment is one
 * ``tcp`` pays real sockets and real serialization (the binary wire
   protocol) against a loopback fleet of worker daemons — the closest
   this repo gets to the paper's physical testbed.
+* ``async_tcp`` is the same wire protocol driven by one event loop
+  (a single extra thread demultiplexing every worker socket) instead
+  of per-socket reader threads.
 
 Shape assertions only check correctness (every backend must decode
 bit-exactly); relative wall-clock between the real backends is
 machine-dependent and intentionally not asserted. The CI ``bench-tcp``
-job gates the deterministic ``tcp_decode_success_rate`` emitted here
-(every tcp round must decode bit-exactly) via
-``check_perf_regression.py --select 'tcp_*'``.
+and ``bench-async`` jobs gate the deterministic
+``tcp_decode_success_rate`` / ``async_tcp_decode_success_rate``
+emitted here (every socket round must decode bit-exactly) via
+``check_perf_regression.py --select``.
 """
 
 import numpy as np
@@ -55,7 +59,7 @@ def _config(kind, s=S, m=M, **kwargs):
     )
 
 
-@pytest.mark.parametrize("kind", ["sim", "threaded", "process", "tcp"])
+@pytest.mark.parametrize("kind", ["sim", "threaded", "process", "tcp", "async_tcp"])
 def test_avcc_rounds_per_backend(benchmark, cfg, field, rng, kind):
     x = field.random((cfg.m, cfg.d), rng)
     w = field.random(cfg.d, rng)
@@ -81,7 +85,7 @@ def test_avcc_rounds_per_backend(benchmark, cfg, field, rng, kind):
         np.testing.assert_array_equal(vec, z if i % 2 == 0 else g)
 
 
-@pytest.mark.parametrize("kind", ["threaded", "process", "tcp"])
+@pytest.mark.parametrize("kind", ["threaded", "process", "tcp", "async_tcp"])
 def test_early_stopping_saves_straggler_tail(benchmark, field, rng, kind):
     """With one heavy straggler and enough slack, a real-backend round
     must cost ~(fast worker time), not ~(straggler sleep)."""
@@ -109,10 +113,13 @@ def test_early_stopping_saves_straggler_tail(benchmark, field, rng, kind):
     assert 0 not in out.record.used_workers
 
 
-def test_tcp_loopback_fleet_decode_rate(benchmark, cfg, field, rng):
-    """The ``bench-tcp`` CI headline: a loopback socket fleet serving
-    a block of mixed fwd/bwd rounds under a straggler and a Byzantine
-    worker must decode every round bit-exactly.
+@pytest.mark.parametrize("kind", ["tcp", "async_tcp"])
+def test_tcp_loopback_fleet_decode_rate(benchmark, cfg, field, rng, kind):
+    """The ``bench-tcp`` / ``bench-async`` CI headline: a loopback
+    socket fleet (per-socket reader threads for ``tcp``, one event
+    loop for ``async_tcp``) serving a block of mixed fwd/bwd rounds
+    under a straggler and a Byzantine worker must decode every round
+    bit-exactly.
 
     The gated metric is a *success rate*, not a wall time — runner
     hardware varies, protocol correctness does not. The measured
@@ -125,7 +132,7 @@ def test_tcp_loopback_fleet_decode_rate(benchmark, cfg, field, rng):
     g = ff_matvec(field, x.T.copy(), e)
 
     config = _config(
-        "tcp", workers=_specs(), backend_options={"straggle_scale": 0.01}
+        kind, workers=_specs(), backend_options={"straggle_scale": 0.01}
     )
     n_rounds = 2 * ROUNDS
 
@@ -145,6 +152,6 @@ def test_tcp_loopback_fleet_decode_rate(benchmark, cfg, field, rng):
     exact = sum(
         np.array_equal(vec, z if i % 2 == 0 else g) for i, vec in enumerate(outs)
     )
-    record_metric("tcp_decode_success_rate", exact / n_rounds)
-    record_metric("tcp_rounds_per_s", n_rounds / elapsed)
+    record_metric(f"{kind}_decode_success_rate", exact / n_rounds)
+    record_metric(f"{kind}_rounds_per_s", n_rounds / elapsed)
     assert exact == n_rounds

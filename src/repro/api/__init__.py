@@ -5,13 +5,15 @@ The lower layers of this repro (``ff`` → ``coding`` → ``verify`` →
 reach any seam. But *using* the system should not require hand-wiring
 six layers. This package is the production-shaped front door:
 
-    from repro.api import Session, SessionConfig
+    from repro.api import JobRequest, Session, SessionConfig
     from repro.coding import SchemeParams
 
     cfg = SessionConfig(scheme=SchemeParams(n=6, k=3, s=1, m=1))
     with Session.create(cfg) as sess:
-        sess.load(x)                        # encode, ship shares + keys
-        z = sess.submit_matvec(w).result()  # verified, exact X @ w
+        sess.load(x)                           # encode, ship shares + keys
+        req = JobRequest(family="matvec", operand=w)
+        z = sess.submit(req).result()          # verified, exact X @ w
+        z = sess.submit_matvec(w).result()     # same thing, sugar
 
 Three pieces:
 
@@ -23,13 +25,21 @@ Three pieces:
     shippable across processes.
 
 ``Session`` (:mod:`repro.api.session`)
-    A context-managed service over one dataset. ``submit_matvec`` /
-    ``submit_gramian`` / ``submit_matmul`` return future-like
-    :class:`~repro.api.session.JobHandle` objects; concurrently
-    submitted jobs against the same encoded family are **coalesced into
-    a single broadcast round** (one ``RoundJob`` serving many jobs —
-    the heavy-traffic path), and ``session.stats`` surfaces per-round
-    verify/decode/adaptation telemetry plus pipeline occupancy.
+    A context-managed service over one dataset.
+    ``Session.submit(request)`` is the canonical entry point: it takes
+    one typed :class:`~repro.api.session.JobRequest` (or any
+    compatible object, e.g. a serve-layer ``Request``) and returns a
+    :class:`~repro.api.session.JobHandle` — **the single future type
+    of this API**: every submission path yields one, and
+    ``handle.result()`` / ``handle.outcome()`` / ``handle.record`` are
+    the only ways results come back. The ``submit_matvec`` /
+    ``submit_gramian`` / ``submit_matmul`` conveniences are thin
+    wrappers that build a ``JobRequest`` and call ``submit``.
+    Concurrently submitted jobs against the same encoded family are
+    **coalesced into a single broadcast round** (one ``RoundJob``
+    serving many jobs — the heavy-traffic path), and
+    ``session.stats`` surfaces per-round verify/decode/adaptation
+    telemetry plus pipeline occupancy.
 
 ``RoundScheduler`` (:mod:`repro.api.scheduler`) — the pipelined path
     Rounds move through an explicit plan → dispatch → collect →
@@ -43,8 +53,9 @@ Three pieces:
 Registries (:mod:`repro.api.registry`) — the extension point
     ``Session.create`` resolves backends and masters **by name**
     through two registries pre-populated with the built-ins
-    (backends ``"sim" | "threaded" | "process"``; masters
-    ``"avcc" | "lcc" | "static_vcc" | "uncoded"``). Third-party code
+    (backends ``"sim" | "threaded" | "process" | "tcp" | "async_tcp"``;
+    masters ``"avcc" | "lcc" | "static_vcc" | "uncoded"``). Third-party
+    code
     plugs in without touching ``repro`` internals::
 
         from repro.api import register_backend, register_master
@@ -84,10 +95,11 @@ from repro.api.registry import (
     resolve_master,
 )
 from repro.api.scheduler import RoundScheduler, SessionClosedError
-from repro.api.session import JobHandle, Session, SessionStats
+from repro.api.session import JobHandle, JobRequest, Session, SessionStats
 
 __all__ = [
     "JobHandle",
+    "JobRequest",
     "RoundScheduler",
     "Session",
     "SessionClosedError",

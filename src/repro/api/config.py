@@ -29,6 +29,7 @@ from repro.runtime.byzantine import (
 )
 from repro.runtime.costmodel import CostModel
 from repro.runtime.latency import make_profiles
+from repro.runtime.net.tunables import NetTunables
 from repro.runtime.worker import SimWorker
 
 __all__ = ["SessionConfig", "WorkerSpec"]
@@ -106,8 +107,8 @@ class SessionConfig:
         Registry name of the waiting/verification policy
         (``"avcc" | "lcc" | "static_vcc" | "uncoded"`` built in).
     backend:
-        Registry name of the execution substrate
-        (``"sim" | "threaded" | "process" | "tcp"`` built in).
+        Registry name of the execution substrate (``"sim" |
+        "threaded" | "process" | "tcp" | "async_tcp"`` built in).
     prime:
         Field modulus (the paper's ``2**25 - 39`` by default).
     seed:
@@ -132,16 +133,24 @@ class SessionConfig:
     cost:
         Overrides for :class:`~repro.runtime.costmodel.CostModel`
         fields (e.g. ``{"worker_sec_per_mac": 300e-9}``).
+    net:
+        The socket backends' liveness/deadline knob surface
+        (:class:`~repro.runtime.net.tunables.NetTunables`):
+        ``heartbeat_interval``/``heartbeat_timeout`` (probing cadence
+        and the dead-worker threshold), ``io_timeout`` (per-socket I/O
+        deadline) and ``round_timeout`` (per-round collect deadline).
+        Shared verbatim by ``"tcp"`` and ``"async_tcp"``; ignored by
+        the in-process backends. Accepts a plain mapping in
+        :meth:`from_dict`.
     backend_options:
         Extra keyword arguments for the backend factory (e.g.
         ``{"straggle_scale": 0.05}`` for wall-clock backends). The
-        ``"tcp"`` backend's deployment knobs travel here too:
+        socket backends' deployment knobs travel here too:
         ``host``/``port`` (listen address; port 0 = ephemeral),
         ``connect_timeout`` (seconds to wait for the fleet to
-        register), ``heartbeat_interval``/``heartbeat_timeout``
-        (liveness probing), ``round_timeout`` (per-round collect
-        deadline) and ``spawn_workers``/``spawn_mode`` (self-launch a
-        loopback fleet vs wait for remote daemons).
+        register) and ``spawn_workers``/``spawn_mode`` (self-launch a
+        loopback fleet vs wait for remote daemons). Entries here
+        override the ``net`` field for per-run tweaks.
     """
 
     scheme: SchemeParams
@@ -154,6 +163,7 @@ class SessionConfig:
     batch_window: int = 32
     max_inflight_rounds: int = 1
     cost: dict[str, Any] = dc_field(default_factory=dict)
+    net: NetTunables = dc_field(default_factory=NetTunables)
     backend_options: dict[str, Any] = dc_field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -175,6 +185,11 @@ class SessionConfig:
         for spec in self.workers:
             if not isinstance(spec, WorkerSpec):
                 raise TypeError(f"workers entries must be WorkerSpec, got {spec!r}")
+        if not isinstance(self.net, NetTunables):
+            raise TypeError(
+                f"net must be NetTunables (or a mapping via from_dict), "
+                f"got {type(self.net)}"
+            )
         self.cost_model()  # validate the overrides eagerly
 
     # ------------------------------------------------------------------
@@ -238,6 +253,9 @@ class SessionConfig:
         )
         if "cost" in data:
             data["cost"] = dict(data["cost"])
+        net = data.get("net")
+        if isinstance(net, Mapping):
+            data["net"] = NetTunables.from_dict(net)
         if "backend_options" in data:
             data["backend_options"] = dict(data["backend_options"])
         return cls(**data)

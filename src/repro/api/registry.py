@@ -2,7 +2,8 @@
 
 The session layer resolves ``SessionConfig.backend`` and
 ``SessionConfig.master`` strings through these registries, so the
-string names ``"sim" | "threaded" | "process" | "tcp"`` and
+string names ``"sim" | "threaded" | "process" | "tcp" | "async_tcp"``
+and
 ``"avcc" | "lcc" | "static_vcc" | "uncoded"`` are data, not code —
 a config file can pick any combination, and third parties can plug in
 their own substrate or waiting/verification policy without touching
@@ -188,7 +189,26 @@ def _tcp_backend(
         workers,
         rng=rng,
         cost_model=config.cost_model(),
-        **config.backend_options,
+        # config.net is the shared knob surface; explicit
+        # backend_options entries still win for per-run overrides
+        **{**config.net.backend_kwargs(), **config.backend_options},
+    )
+
+
+def _async_tcp_backend(
+    config: "SessionConfig",
+    field: "PrimeField",
+    workers: Sequence["SimWorker"],
+    rng: np.random.Generator,
+) -> "Backend":
+    from repro.runtime.net import AsyncTcpCluster
+
+    return AsyncTcpCluster(
+        field,
+        workers,
+        rng=rng,
+        cost_model=config.cost_model(),
+        **{**config.net.backend_kwargs(), **config.backend_options},
     )
 
 
@@ -228,6 +248,7 @@ register_backend("sim", _sim_backend)
 register_backend("threaded", _threaded_backend)
 register_backend("process", _process_backend)
 register_backend("tcp", _tcp_backend)
+register_backend("async_tcp", _async_tcp_backend)
 register_master("avcc", _avcc_master)
 register_master("static_vcc", _static_vcc_master)
 register_master("lcc", _lcc_master)

@@ -55,7 +55,53 @@ from repro.core.results import AdaptationOutcome, RoundOutcome
 from repro.runtime.backend import Backend
 from repro.runtime.trace import RoundRecord
 
-__all__ = ["JobHandle", "Session", "SessionClosedError", "SessionStats"]
+__all__ = ["JobHandle", "JobRequest", "Session", "SessionClosedError", "SessionStats"]
+
+#: request families the submission surface accepts
+JOB_FAMILIES = ("matvec", "gramian", "matmul")
+
+
+@dataclass(frozen=True, eq=False)
+class JobRequest:
+    """One typed unit of work for :meth:`Session.submit`.
+
+    The canonical submission type: the convenience wrappers
+    (``submit_matvec``/``submit_gramian``/``submit_matmul``) construct
+    one of these and hand it to ``submit``. Any object exposing the
+    same attributes — notably :class:`repro.serve.workload.Request` —
+    is accepted by ``submit`` directly.
+
+    Attributes
+    ----------
+    family:
+        ``"matvec" | "gramian" | "matmul"``.
+    operand:
+        The job's input: the vector for matvec/gramian, the left
+        factor ``A`` for matmul.
+    transpose:
+        Matvec only: serve ``X.T @ operand`` instead of
+        ``X @ operand``.
+    operand_b:
+        Matmul only: the right factor ``B``.
+    p, q:
+        Matmul only: the ``(p, q)`` factor partitioning.
+    """
+
+    family: str
+    operand: np.ndarray
+    transpose: bool = False
+    operand_b: np.ndarray | None = None
+    p: int = 2
+    q: int = 2
+
+    def __post_init__(self) -> None:
+        if self.family not in JOB_FAMILIES:
+            raise ValueError(
+                f"unknown request family {self.family!r}; "
+                f"expected one of {JOB_FAMILIES}"
+            )
+        if self.family == "matmul" and self.operand_b is None:
+            raise ValueError("matmul requests need operand_b (the right factor)")
 
 
 class JobHandle:
@@ -300,72 +346,81 @@ class Session:
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
-    def submit_matvec(self, operand: np.ndarray, *, transpose: bool = False) -> JobHandle:
-        """Queue one coded matrix–vector job: ``X @ operand`` (or
-        ``X.T @ operand`` with ``transpose=True``). Jobs for the same
-        family coalesce into one broadcast round at flush time."""
-        self._check_open()
-        family = "bwd" if transpose else "fwd"
-        return self._enqueue("matvec", family, self.field.asarray(operand))
-
-    def submit_gramian(self, w: np.ndarray) -> JobHandle:
-        """Queue one degree-2 job: ``X^T X w`` served by a lazily
-        constructed :class:`~repro.core.gramian.GramianAVCCMaster`
-        sharing this session's backend (requires a scheme feasible at
-        ``deg_f=2``)."""
-        self._check_open()
-        self._ensure_gramian_master()
-        return self._enqueue("gramian", "gram", self.field.asarray(w))
-
-    def submit_matmul(
-        self, a: np.ndarray, b: np.ndarray, *, p: int = 2, q: int = 2
-    ) -> JobHandle:
-        """Run one verified coded matrix–matrix job ``A @ B`` with
-        ``(p, q)`` factor partitioning. Matmul rounds broadcast nothing
-        (factors are pre-shipped at submission), so they skip the
-        batching queue and dispatch immediately — but they enter the
-        pipeline window like any other round, so their finalization
-        keeps the FIFO master-core order and the pipeline telemetry
-        sees them. With the serial window (``max_inflight_rounds=1``)
-        the handle resolves before this method returns."""
-        self._check_open()
-        from repro.core.matmul import CodedMatmulAVCCMaster
-
-        scheme = self._aux_scheme()
-        s = scheme.s if scheme is not None else 0
-        m = scheme.m if scheme is not None else 0
-        master = CodedMatmulAVCCMaster(
-            self.backend, p=p, q=q, s=s, m=m, probes=self._aux_probes(),
-            rng=self.master.rng,
-        )
-        master.setup(a, b)
-        handle = JobHandle(self, "matmul", "matmul")
-        self._stats.jobs_submitted += 1
-        self._scheduler.submit(master, "matmul", [handle], [])
-        return handle
-
     def submit(self, request: Any) -> JobHandle:
-        """Serve-layer entry point: route one typed request to the
-        matching ``submit_*`` method.
+        """The canonical typed entry point: submit one
+        :class:`JobRequest` (or compatible object), get one
+        :class:`JobHandle` — the single future type of the API.
 
         ``request`` is duck-typed (so :class:`repro.serve.workload.
         Request` — or any compatible object — can be submitted without
         this module importing the serving layer): it must expose
         ``family`` (``"matvec" | "gramian" | "matmul"``) and
-        ``operand``, plus ``transpose`` for matvec and ``operand_b``
-        for matmul.
+        ``operand``, plus optionally ``transpose`` for matvec and
+        ``operand_b``/``p``/``q`` for matmul.
+
+        Matvec and gramian jobs coalesce per family into one broadcast
+        round at flush time. Matmul rounds broadcast nothing (factors
+        are pre-shipped at submission), so they skip the batching queue
+        and dispatch immediately — but they enter the pipeline window
+        like any other round, so their finalization keeps the FIFO
+        master-core order and the pipeline telemetry sees them.
         """
+        self._check_open()
         family = request.family
         if family == "matvec":
-            return self.submit_matvec(
-                request.operand, transpose=bool(getattr(request, "transpose", False))
-            )
+            fam = "bwd" if bool(getattr(request, "transpose", False)) else "fwd"
+            return self._enqueue("matvec", fam, self.field.asarray(request.operand))
         if family == "gramian":
-            return self.submit_gramian(request.operand)
+            self._ensure_gramian_master()
+            return self._enqueue("gramian", "gram", self.field.asarray(request.operand))
         if family == "matmul":
-            return self.submit_matmul(request.operand, request.operand_b)
+            from repro.core.matmul import CodedMatmulAVCCMaster
+
+            scheme = self._aux_scheme()
+            s = scheme.s if scheme is not None else 0
+            m = scheme.m if scheme is not None else 0
+            master = CodedMatmulAVCCMaster(
+                self.backend,
+                p=int(getattr(request, "p", 2)),
+                q=int(getattr(request, "q", 2)),
+                s=s,
+                m=m,
+                probes=self._aux_probes(),
+                rng=self.master.rng,
+            )
+            master.setup(request.operand, request.operand_b)
+            handle = JobHandle(self, "matmul", "matmul")
+            self._stats.jobs_submitted += 1
+            self._scheduler.submit(master, "matmul", [handle], [])
+            return handle
         raise ValueError(
             f"unknown request family {family!r}; expected matvec|gramian|matmul"
+        )
+
+    def submit_matvec(self, operand: np.ndarray, *, transpose: bool = False) -> JobHandle:
+        """Queue one coded matrix–vector job: ``X @ operand`` (or
+        ``X.T @ operand`` with ``transpose=True``). Thin wrapper over
+        :meth:`submit`."""
+        return self.submit(
+            JobRequest(family="matvec", operand=operand, transpose=transpose)
+        )
+
+    def submit_gramian(self, w: np.ndarray) -> JobHandle:
+        """Queue one degree-2 job: ``X^T X w`` served by a lazily
+        constructed :class:`~repro.core.gramian.GramianAVCCMaster`
+        sharing this session's backend (requires a scheme feasible at
+        ``deg_f=2``). Thin wrapper over :meth:`submit`."""
+        return self.submit(JobRequest(family="gramian", operand=w))
+
+    def submit_matmul(
+        self, a: np.ndarray, b: np.ndarray, *, p: int = 2, q: int = 2
+    ) -> JobHandle:
+        """Run one verified coded matrix–matrix job ``A @ B`` with
+        ``(p, q)`` factor partitioning. With the serial window
+        (``max_inflight_rounds=1``) the handle resolves before this
+        method returns. Thin wrapper over :meth:`submit`."""
+        return self.submit(
+            JobRequest(family="matmul", operand=a, operand_b=b, p=p, q=q)
         )
 
     def _enqueue(self, kind: str, family: str, operand: np.ndarray) -> JobHandle:

@@ -176,23 +176,6 @@ class MatvecMasterBase:
     # ------------------------------------------------------------------
     # helpers for subclasses
     # ------------------------------------------------------------------
-    @property
-    def cluster(self) -> Backend:
-        """Deprecated alias for :attr:`backend`.
-
-        .. deprecated:: 0.3
-           Use ``master.backend``; this alias predates the pluggable
-           Backend protocol and will be removed.
-        """
-        import warnings
-
-        warnings.warn(
-            "master.cluster is deprecated; use master.backend",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.backend
-
     def _position_of(self, worker_id: int) -> int:
         """Code position (index into alpha points) of a worker."""
         return self.active.index(worker_id)

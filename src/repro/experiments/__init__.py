@@ -14,7 +14,7 @@ matched to the paper's Atom-class testbed running interpreted field
 arithmetic over 1 GbE with serialization overhead).
 """
 
-from repro.experiments.common import ExperimentConfig, build_cluster, run_training
+from repro.experiments.common import ExperimentConfig, run_training
 from repro.experiments.fig3 import FIG3_SETTINGS, Fig3Result, run_fig3
 from repro.experiments.fig4 import Fig4Result, run_fig4
 from repro.experiments.fig5 import Fig5Result, run_fig5
@@ -28,7 +28,6 @@ __all__ = [
     "Fig4Result",
     "Fig5Result",
     "Table1Result",
-    "build_cluster",
     "format_table",
     "run_fig3",
     "run_fig4",

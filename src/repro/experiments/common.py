@@ -3,10 +3,11 @@
 All cluster/master construction goes through the session API
 (:mod:`repro.api`): scenarios are described as
 :class:`~repro.api.config.SessionConfig` objects (worker fault specs,
-scheme, cost constants) and materialized by the name registries. The
-legacy ``build_cluster`` / ``make_master`` helpers survive as thin
-shims over the same path for tests and notebooks that want the layers
-separately.
+scheme, cost constants) and materialized by the name registries —
+compose :func:`scenario_config` with ``config.build_workers()`` /
+``resolve_backend`` / ``resolve_master`` when a test or notebook wants
+the layers separately. (The pre-0.4 ``build_cluster`` /
+``make_master`` shims are gone; see the README migration note.)
 
 Calibration
 -----------
@@ -36,18 +37,16 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.api import Session, SessionConfig, WorkerSpec, resolve_backend, resolve_master
+from repro.api import Session, SessionConfig, WorkerSpec
 from repro.coding import SchemeParams
 from repro.ff import DEFAULT_PRIME
 from repro.ml import Dataset, DistributedLogisticTrainer, LogisticConfig, make_gisette_like
 from repro.ml.trainer import TrainingHistory
-from repro.runtime import CostModel, SimCluster, TraceRecorder
+from repro.runtime import CostModel, TraceRecorder
 
 __all__ = [
     "ExperimentConfig",
     "SERVING_SCALE",
-    "build_cluster",
-    "make_master",
     "make_serving_workload",
     "make_session",
     "run_training",
@@ -318,50 +317,6 @@ def make_serving_workload(
         seed=seed,
     )
     return generator, generator.generate(n_requests)
-
-
-# ----------------------------------------------------------------------
-# legacy layer-by-layer shims (delegate to the api builders)
-# ----------------------------------------------------------------------
-def build_cluster(
-    cfg: ExperimentConfig,
-    n_stragglers: int,
-    n_byzantine: int,
-    attack: str = "reverse",
-    *,
-    intermittent: bool = True,
-    straggler_ids: tuple[int, ...] | None = None,
-    byzantine_ids: tuple[int, ...] | None = None,
-    seed_offset: int = 0,
-) -> SimCluster:
-    """Assemble the simulated worker fleet for one scenario."""
-    config = scenario_config(
-        "avcc",
-        cfg,
-        s=n_stragglers,
-        m=n_byzantine,
-        n_stragglers=n_stragglers,
-        n_byzantine=n_byzantine,
-        attack=attack,
-        intermittent=intermittent,
-        straggler_ids=straggler_ids,
-        byzantine_ids=byzantine_ids,
-        seed_offset=seed_offset,
-    )
-    return resolve_backend("sim")(
-        config, config.build_field(), config.build_workers(), config.build_rng()
-    )
-
-
-def make_master(method: str, cluster: SimCluster, cfg: ExperimentConfig, s: int, m: int):
-    """Instantiate a master by name on an existing backend."""
-    config = SessionConfig(
-        scheme=_scheme(method, cfg, s, m),
-        master=method,
-        seed=cfg.seed,
-        cost=cfg.cost_dict(),
-    )
-    return resolve_master(method)(config, cluster, config.build_rng(offset=1))
 
 
 def run_training(

@@ -67,6 +67,7 @@ from repro.runtime.backend import (
 )
 from repro.runtime.costmodel import CostModel
 from repro.runtime.net.fleet import LocalFleet, spawn_local_workers
+from repro.runtime.net.tunables import NetTunables
 from repro.runtime.net.wire import (
     WireError,
     behavior_to_dict,
@@ -219,6 +220,10 @@ class TcpCluster(WallClockBackend):
         Liveness probing cadence, and how long an unanswered probe
         marks a worker dead. Probes ride the result pump, so they are
         active exactly while rounds are being collected.
+    io_timeout:
+        Per-socket I/O deadline in seconds; ``None`` (default)
+        inherits ``heartbeat_timeout``. See
+        :class:`~repro.runtime.net.tunables.NetTunables`.
     round_timeout:
         Per-round collect deadline in seconds (``None`` disables):
         workers silent past it are recorded as never-arrived for that
@@ -242,6 +247,7 @@ class TcpCluster(WallClockBackend):
         connect_timeout: float = 30.0,
         heartbeat_interval: float = 0.25,
         heartbeat_timeout: float = 10.0,
+        io_timeout: float | None = None,
         round_timeout: float | None = 120.0,
         spawn_workers: bool = True,
         spawn_mode: str = "fork",
@@ -249,6 +255,12 @@ class TcpCluster(WallClockBackend):
         ids = [w.worker_id for w in workers]
         if sorted(ids) != list(range(len(workers))):
             raise ValueError("worker ids must be exactly 0..n-1")
+        tunables = NetTunables(
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_timeout=heartbeat_timeout,
+            io_timeout=io_timeout,
+            round_timeout=round_timeout,
+        )
         self.field = field
         self.workers = list(sorted(workers, key=lambda w: w.worker_id))
         self.rng = rng or np.random.default_rng(0)
@@ -256,9 +268,10 @@ class TcpCluster(WallClockBackend):
         self.cost_model = cost_model or CostModel()
         self.host = host
         self.connect_timeout = connect_timeout
-        self.heartbeat_interval = heartbeat_interval
-        self.heartbeat_timeout = heartbeat_timeout
-        self.round_timeout = round_timeout
+        self.heartbeat_interval = tunables.heartbeat_interval
+        self.heartbeat_timeout = tunables.heartbeat_timeout
+        self.io_timeout = tunables.effective_io_timeout
+        self.round_timeout = tunables.round_timeout
         self._init_wall_clock()
 
         self._rid = 0
@@ -333,12 +346,12 @@ class TcpCluster(WallClockBackend):
             except (WireError, OSError, ConnectionError, KeyError, ValueError):
                 conn.close()
                 continue
-            # heartbeat_timeout doubles as the per-socket I/O deadline:
-            # a peer stalled mid-frame (SIGSTOP, silent partition) or a
-            # send into a full buffer raises socket.timeout and is
-            # marked dead — the master must never block unboundedly on
-            # one worker's socket
-            conn.settimeout(self.heartbeat_timeout)
+            # the per-socket I/O deadline (io_timeout, defaulting to
+            # heartbeat_timeout): a peer stalled mid-frame (SIGSTOP,
+            # silent partition) or a send into a full buffer raises
+            # socket.timeout and is marked dead — the master must never
+            # block unboundedly on one worker's socket
+            conn.settimeout(self.io_timeout)
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             self._conns[wid] = conn
             self._sel.register(conn, selectors.EVENT_READ, data=wid)

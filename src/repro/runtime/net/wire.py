@@ -74,6 +74,7 @@ __all__ = [
     "decode_payload",
     "encode_frame",
     "read_frame",
+    "read_frame_async",
     "send_frame",
     "send_parts",
 ]
@@ -277,6 +278,31 @@ def read_frame(sock: socket.socket) -> tuple[str, dict, list[np.ndarray]]:
     if length > MAX_PAYLOAD:
         raise WireError(f"declared payload of {length} bytes exceeds MAX_PAYLOAD")
     payload = _recv_exact(sock, length)
+    if zlib.crc32(payload) != crc:
+        raise WireError("payload checksum mismatch (corrupted frame)")
+    return decode_payload(code, payload)
+
+
+async def read_frame_async(reader) -> tuple[str, dict, list[np.ndarray]]:
+    """Async twin of :func:`read_frame` over an ``asyncio.StreamReader``.
+
+    Same validation, same :class:`WireError` surface; a peer that
+    closes mid-frame raises ``asyncio.IncompleteReadError`` (callers
+    treat it like EOF, exactly as the sync reader's closed-mid-frame
+    error).
+    """
+    pre = await reader.readexactly(_PREAMBLE.size)
+    magic, version, code, crc, length = _PREAMBLE.unpack(pre)
+    if magic != MAGIC:
+        raise WireError(f"bad magic {bytes(magic)!r} (not an AVCC protocol peer?)")
+    if version != PROTOCOL_VERSION:
+        raise WireError(
+            f"protocol version mismatch: peer speaks {version}, "
+            f"this build speaks {PROTOCOL_VERSION}"
+        )
+    if length > MAX_PAYLOAD:
+        raise WireError(f"declared payload of {length} bytes exceeds MAX_PAYLOAD")
+    payload = memoryview(await reader.readexactly(length))
     if zlib.crc32(payload) != crc:
         raise WireError("payload checksum mismatch (corrupted frame)")
     return decode_payload(code, payload)

@@ -7,22 +7,26 @@ scale — the same fleet description the in-process backends apply
 directly), then serves the store/round protocol until it is shut down
 or the connection drops.
 
-Two threads split the work so the daemon never deadlocks and never
-goes dark:
+The daemon runs **one asyncio event loop** (it serves either the sync
+``TcpCluster`` or the ``AsyncTcpCluster`` — the wire protocol is
+identical) with two long-lived tasks splitting the work so it never
+deadlocks and never goes dark:
 
-* the **receiver** drains the socket continuously — heartbeats are
+* the **receive task** drains the socket continuously — heartbeats are
   acknowledged inline (so a worker grinding through a long compute, or
   sleeping out an injected straggle, still proves liveness), cancels
-  are noted, and store/round messages are queued for the compute loop.
+  are noted, and store/round messages are queued for the compute task.
   Draining eagerly also means the master's share distribution can
   never block on a worker that is busy computing.
-* the **compute loop** executes rounds FIFO through the same
+* the **compute task** executes rounds FIFO through the same
   :func:`~repro.runtime.backend.run_job_compute` every other backend
-  uses, applies the configured straggler sleep and Byzantine
-  behaviour, and transmits ``result`` frames (a silent behaviour
-  reports ``ok=False`` so the master records a never-arrived worker
-  instead of waiting out a heartbeat timeout; a computation error is
-  reported crash-stop, exactly like the process backend).
+  uses — the numpy work hops to the loop's executor so the receive
+  task keeps answering probes mid-compute — applies the configured
+  straggler sleep (``asyncio.sleep``, cancellable mid-straggle) and
+  Byzantine behaviour, and transmits ``result`` frames (a silent
+  behaviour reports ``ok=False`` so the master records a never-arrived
+  worker instead of waiting out a heartbeat timeout; a computation
+  error is reported crash-stop, exactly like the process backend).
 
 Fault injection for tests can come from either end: the master's
 ``config`` carries the session's :class:`~repro.api.config.WorkerSpec`
@@ -34,10 +38,9 @@ worker side without the master's cooperation.
 
 from __future__ import annotations
 
+import asyncio
 import os
-import queue
 import socket
-import threading
 import time
 from typing import Any
 
@@ -50,8 +53,8 @@ from repro.runtime.net.wire import (
     PROTOCOL_VERSION,
     WireError,
     behavior_from_dict,
-    read_frame,
-    send_frame,
+    encode_frame,
+    read_frame_async,
 )
 
 __all__ = ["WorkerServer"]
@@ -94,19 +97,18 @@ class WorkerServer:
         self.field = PrimeField(q or DEFAULT_PRIME)
         self.payload: dict[str, np.ndarray] = {}
         self._rng = np.random.default_rng(worker_id)
-        self._sock: socket.socket | None = None
-        self._send_lock = threading.Lock()
-        self._inbox: queue.Queue[tuple[str, dict, list[np.ndarray]] | None] = queue.Queue()
-        #: rids cancelled but not yet seen by the compute loop. Bounded:
+        self._writer: asyncio.StreamWriter | None = None
+        self._send_lock: asyncio.Lock | None = None
+        self._inbox: asyncio.Queue | None = None
+        #: rids cancelled but not yet seen by the compute task. Bounded:
         #: cancels at or below the served watermark are dropped on
         #: arrival (the round already finished here), and _serve_round
         #: prunes everything up to its own rid — a long-lived daemon
-        #: never accumulates stale cancellations. The lock covers the
-        #: receiver-thread add racing the compute-thread prune.
+        #: never accumulates stale cancellations. Receive and compute
+        #: tasks share one loop, so no lock guards the set.
         self._cancelled: set[int] = set()
-        self._cancel_lock = threading.Lock()
         self._served_rid = 0
-        self._stopping = threading.Event()
+        self._stopping = False
 
     # ------------------------------------------------------------------
     # connection lifecycle
@@ -133,7 +135,9 @@ class WorkerServer:
 
     def _connect(self) -> socket.socket:
         """Dial the master, retrying until ``connect_timeout`` — the
-        fleet launcher may start workers before the master listens."""
+        fleet launcher may start workers before the master listens.
+        Dialing is plain blocking sockets *before* the loop starts, so
+        no getaddrinfo ever runs on (or threads off) the event loop."""
         deadline = time.monotonic() + self.connect_timeout
         delay = 0.01
         while True:
@@ -169,71 +173,91 @@ class WorkerServer:
 
     def run(self) -> None:
         """Register with the master and serve until shutdown/EOF."""
-        self._sock = self._connect()
+        sock = self._connect()
         try:
-            send_frame(
-                self._sock,
+            asyncio.run(self._serve(sock))
+        finally:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    async def _serve(self, sock: socket.socket) -> None:
+        reader, writer = await asyncio.open_connection(sock=sock)
+        self._writer = writer
+        self._send_lock = asyncio.Lock()
+        self._inbox = asyncio.Queue()
+        recv_task: asyncio.Task | None = None
+        try:
+            await self._send(
                 "hello",
                 {
                     "worker_id": self.worker_id,
                     "protocol": PROTOCOL_VERSION,
                     "pid": os.getpid(),
                 },
-                lock=self._send_lock,
             )
-            kind, fields, _ = read_frame(self._sock)
+            kind, fields, _ = await read_frame_async(reader)
             if kind != "config":
                 raise WireError(f"expected a config frame after hello, got {kind!r}")
             self._apply_config(fields)
-            reader = threading.Thread(target=self._receive_loop, daemon=True)
-            reader.start()
-            self._compute_loop()
+            recv_task = asyncio.get_running_loop().create_task(
+                self._receive_loop(reader)
+            )
+            await self._compute_loop()
         finally:
-            self._stopping.set()
-            try:
-                self._sock.close()
-            except OSError:  # pragma: no cover - close is best-effort
-                pass
+            self._stopping = True
+            if recv_task is not None:
+                recv_task.cancel()
+                await asyncio.gather(recv_task, return_exceptions=True)
+            writer.close()
 
     # ------------------------------------------------------------------
-    # receiver thread: keep the socket drained, answer liveness probes
+    # receive task: keep the socket drained, answer liveness probes
     # ------------------------------------------------------------------
-    def _receive_loop(self) -> None:
-        assert self._sock is not None
+    async def _receive_loop(self, reader: asyncio.StreamReader) -> None:
+        assert self._inbox is not None
         try:
-            while not self._stopping.is_set():
-                kind, fields, arrays = read_frame(self._sock)
+            while not self._stopping:
+                kind, fields, arrays = await read_frame_async(reader)
                 if kind == "heartbeat":
-                    self._send("heartbeat_ack", {"seq": fields.get("seq", 0)})
+                    await self._send("heartbeat_ack", {"seq": fields.get("seq", 0)})
                 elif kind == "cancel":
                     rid = int(fields["rid"])
-                    with self._cancel_lock:
-                        if rid > self._served_rid:  # else: already done
-                            self._cancelled.add(rid)
+                    if rid > self._served_rid:  # else: already done
+                        self._cancelled.add(rid)
                 elif kind == "shutdown":
-                    self._inbox.put(None)
+                    await self._inbox.put(None)
                     return
                 else:
-                    self._inbox.put((kind, fields, arrays))
-        except (WireError, OSError, ConnectionError):
+                    await self._inbox.put((kind, fields, arrays))
+        except (WireError, OSError, ConnectionError, asyncio.IncompleteReadError):
             # master went away (or spoke garbage): drain and exit
-            self._inbox.put(None)
+            await self._inbox.put(None)
 
-    def _send(self, kind: str, fields: dict, arrays: tuple = ()) -> bool:
-        assert self._sock is not None
+    async def _send(self, kind: str, fields: dict, arrays: tuple = ()) -> bool:
+        assert self._writer is not None and self._send_lock is not None
+        assert self._inbox is not None
         try:
-            send_frame(self._sock, kind, fields, arrays, lock=self._send_lock)
+            async with self._send_lock:
+                for part in encode_frame(kind, fields, arrays):
+                    self._writer.write(
+                        bytes(part) if isinstance(part, memoryview) else part
+                    )
+                await self._writer.drain()
             return True
         except (OSError, ConnectionError):
-            self._stopping.set()
+            self._stopping = True
+            self._inbox.put_nowait(None)
             return False
 
     # ------------------------------------------------------------------
-    # compute loop
+    # compute task
     # ------------------------------------------------------------------
-    def _compute_loop(self) -> None:
+    async def _compute_loop(self) -> None:
+        assert self._inbox is not None
         while True:
-            item = self._inbox.get()
+            item = await self._inbox.get()
             if item is None:
                 return
             kind, fields, arrays = item
@@ -242,31 +266,29 @@ class WorkerServer:
                 # worker's whole lifetime, frames do not
                 self.payload[str(fields["name"])] = np.array(arrays[0], copy=True)
             elif kind == "round":
-                self._serve_round(fields, arrays)
+                await self._serve_round(fields, arrays)
             # anything else is ignored: forward compatibility
 
     def _is_cancelled(self, rid: int) -> bool:
-        with self._cancel_lock:
-            return rid in self._cancelled
+        return rid in self._cancelled
 
-    def _serve_round(self, fields: dict, arrays: list[np.ndarray]) -> None:
+    async def _serve_round(self, fields: dict, arrays: list[np.ndarray]) -> None:
         rid = int(fields["rid"])
         try:
-            self._serve_round_inner(rid, fields, arrays)
+            await self._serve_round_inner(rid, fields, arrays)
         finally:
             # rounds are served in dispatch order, so anything at or
             # below this rid can no longer be usefully cancelled
-            with self._cancel_lock:
-                self._served_rid = max(self._served_rid, rid)
-                self._cancelled = {r for r in self._cancelled if r > rid}
+            self._served_rid = max(self._served_rid, rid)
+            self._cancelled = {r for r in self._cancelled if r > rid}
 
-    def _serve_round_inner(
+    async def _serve_round_inner(
         self, rid: int, fields: dict, arrays: list[np.ndarray]
     ) -> None:
         if self._is_cancelled(rid):
             return
         if self.factor > 1.0:
-            time.sleep((self.factor - 1.0) * self.straggle_scale)
+            await asyncio.sleep((self.factor - 1.0) * self.straggle_scale)
         if self._is_cancelled(rid):  # cancelled while straggling
             return
         value: np.ndarray | None = None
@@ -279,7 +301,11 @@ class WorkerServer:
                 operand=arrays[0] if arrays else None,
                 rhs_key=fields.get("rhs_key"),
             )
-            honest = run_job_compute(self.field, self.payload, job)
+            # numpy work leaves the loop so heartbeat acks flow
+            # mid-compute; one job at a time preserves FIFO order
+            honest = await asyncio.get_running_loop().run_in_executor(
+                None, run_job_compute, self.field, self.payload, job
+            )
             assert self.behavior is not None
             value = self.behavior.corrupt(honest, self.field, self._rng)
         except Exception as exc:  # crash-stop: report, stay alive
@@ -292,4 +318,4 @@ class WorkerServer:
             "ok": value is not None,
             "err": err,
         }
-        self._send("result", meta, (value,) if value is not None else ())
+        await self._send("result", meta, (value,) if value is not None else ())

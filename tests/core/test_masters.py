@@ -340,16 +340,15 @@ class TestValidation:
             master.forward_round(F.zeros(5))
 
 
-class TestClusterAliasDeprecation:
-    """`master.cluster` predates the Backend protocol; it must still
-    resolve (to `backend`) but emit a DeprecationWarning."""
+class TestClusterAliasRemoved:
+    """`master.cluster` predated the Backend protocol; deprecated in
+    0.3, it is now gone — `backend` is the one attribute."""
 
-    def test_warning_fires_and_alias_resolves(self):
+    def test_alias_is_gone(self):
         cluster = make_cluster(n=6)
         master = AVCCMaster(cluster, SchemeParams(n=6, k=3, s=1, m=1))
-        with pytest.warns(DeprecationWarning, match="master.backend"):
-            aliased = master.cluster
-        assert aliased is master.backend is cluster
+        with pytest.raises(AttributeError):
+            master.cluster
 
     def test_backend_attribute_is_silent(self):
         import warnings

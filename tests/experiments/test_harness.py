@@ -9,14 +9,13 @@ import pytest
 from repro.experiments import (
     ExperimentConfig,
     FIG3_SETTINGS,
-    build_cluster,
     format_table,
     run_fig3,
     run_fig4,
     run_fig5,
     run_training,
 )
-from repro.experiments.common import make_master
+from repro.experiments.common import make_session, scenario_config
 from repro.experiments.fig4 import FIG4_SETTINGS
 from repro.experiments.table1 import PAPER_TABLE1, speedup_over
 
@@ -56,41 +55,77 @@ class TestConfig:
         }
 
 
-class TestBuildCluster:
+class TestScenarioConfig:
+    """Scenario descriptions materialize through the api registries —
+    the pre-0.4 ``build_cluster``/``make_master`` shims are gone."""
+
     def test_placement_defaults(self):
-        cluster = build_cluster(TINY, n_stragglers=2, n_byzantine=1)
+        config = scenario_config(
+            "avcc", TINY, s=2, m=1, n_stragglers=2, n_byzantine=1
+        )
+        workers = config.build_workers()
         # stragglers at 0,1; byzantine at 2 — inside uncoded's range
-        assert cluster.workers[2].is_byzantine
-        assert not cluster.workers[0].is_byzantine
-        assert cluster.workers[0].profile.factor == TINY.straggler_factors[0]
+        assert workers[2].is_byzantine
+        assert not workers[0].is_byzantine
+        assert workers[0].profile.factor == TINY.straggler_factors[0]
 
     def test_explicit_placement(self):
-        cluster = build_cluster(
-            TINY, 1, 1, straggler_ids=(5,), byzantine_ids=(9,)
+        config = scenario_config(
+            "avcc",
+            TINY,
+            s=1,
+            m=1,
+            n_stragglers=1,
+            n_byzantine=1,
+            straggler_ids=(5,),
+            byzantine_ids=(9,),
         )
-        assert cluster.workers[9].is_byzantine
-        assert cluster.workers[5].profile.factor == TINY.straggler_factors[0]
+        workers = config.build_workers()
+        assert workers[9].is_byzantine
+        assert workers[5].profile.factor == TINY.straggler_factors[0]
 
     def test_overlap_rejected(self):
         with pytest.raises(ValueError, match="both"):
-            build_cluster(TINY, 1, 1, straggler_ids=(3,), byzantine_ids=(3,))
+            scenario_config(
+                "avcc",
+                TINY,
+                s=1,
+                m=1,
+                n_stragglers=1,
+                n_byzantine=1,
+                straggler_ids=(3,),
+                byzantine_ids=(3,),
+            )
 
     def test_too_many_stragglers(self):
         with pytest.raises(ValueError, match="factors"):
-            build_cluster(TINY, 5, 0)
+            scenario_config("avcc", TINY, s=2, m=0, n_stragglers=5, n_byzantine=0)
 
     def test_bad_attack_kind(self):
         with pytest.raises(ValueError, match="unknown attack"):
-            build_cluster(TINY, 0, 1, attack="bogus")
+            scenario_config(
+                "avcc", TINY, s=0, m=1, n_stragglers=0, n_byzantine=1, attack="bogus"
+            )
 
     def test_persistent_attack_mode(self):
-        cluster = build_cluster(TINY, 0, 1, intermittent=False)
+        config = scenario_config(
+            "avcc",
+            TINY,
+            s=0,
+            m=1,
+            n_stragglers=0,
+            n_byzantine=1,
+            intermittent=False,
+        )
         from repro.runtime import IntermittentAttack
 
-        assert not isinstance(cluster.workers[0].behavior, IntermittentAttack)
+        workers = config.build_workers()
+        assert not any(
+            isinstance(w.behavior, IntermittentAttack) for w in workers
+        )
 
 
-class TestMakeMaster:
+class TestMakeSession:
     def test_all_methods(self):
         for method, cls_name in [
             ("avcc", "AVCCMaster"),
@@ -98,14 +133,14 @@ class TestMakeMaster:
             ("lcc", "LCCMaster"),
             ("uncoded", "UncodedMaster"),
         ]:
-            cluster = build_cluster(TINY, 1, 1)
-            master = make_master(method, cluster, TINY, s=1, m=1)
-            assert type(master).__name__ == cls_name
+            with make_session(
+                method, TINY, s=1, m=1, n_stragglers=1, n_byzantine=1
+            ) as sess:
+                assert type(sess.master).__name__ == cls_name
 
     def test_unknown_method(self):
-        cluster = build_cluster(TINY, 0, 0)
         with pytest.raises(ValueError, match="unknown method"):
-            make_master("bogus", cluster, TINY, s=0, m=0)
+            scenario_config("bogus", TINY, s=0, m=0)
 
 
 class TestRunners:

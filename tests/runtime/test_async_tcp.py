@@ -1,0 +1,211 @@
+"""Asyncio TCP backend specifics: what only the event-loop master can
+exhibit.
+
+The generic Backend-contract, parity and early-stopping coverage for
+``async_tcp`` lives in ``test_backends.py`` (it is in the ``BACKENDS``
+matrix); this file covers the loop-native behaviours: cancellation
+mid-collect, always-on heartbeat dead-peer detection, clean loop
+shutdown with rounds still in flight, and the headline scaling
+property — thread count O(1) in worker count at 64+ workers.
+"""
+
+import math
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+from test_backends import _fleet
+
+from repro.ff import PrimeField, ff_matvec
+from repro.runtime import AsyncTcpCluster, RoundJob
+from repro.runtime.net import (
+    PROTOCOL_VERSION,
+    free_port,
+    read_frame,
+    send_frame,
+    spawn_local_workers,
+)
+
+F = PrimeField()
+
+
+class TestCancellation:
+    def test_cancel_mid_collect_skips_straggler_sleep(self, rng):
+        """Cancelling after enough arrivals must neither wait for the
+        straggler's injected sleep nor leak its late reply into the
+        next round."""
+        sleep = 1.5
+        factor = 16.0
+        shares = F.random((4, 2, 4), rng)
+        v1 = F.random(4, rng)
+        v2 = F.random(4, rng)
+        with AsyncTcpCluster(
+            F, _fleet(4, {3: factor}, {}), straggle_scale=sleep / (factor - 1.0)
+        ) as backend:
+            backend.distribute("share", shares)
+            t0 = time.perf_counter()
+            handle = backend.dispatch_round(RoundJob(payload_key="share", operand=v1))
+            seen = []
+            for a in handle:
+                seen.append(a.worker_id)
+                if len(seen) == 3:
+                    handle.cancel()
+                    break
+            rr = handle.result()
+            wall = time.perf_counter() - t0
+            assert sorted(seen) == [0, 1, 2]
+            assert wall < sleep * 0.8, "collect waited on a cancelled straggler"
+            late = [a for a in rr.arrivals if a.worker_id == 3]
+            assert len(late) == 1 and math.isinf(late[0].t_arrival)
+            # cancel is idempotent and safe after result()
+            handle.cancel()
+            assert handle.result().arrivals == rr.arrivals
+            # the cancelled round's rid never bleeds into the next one
+            time.sleep(sleep + 0.3)  # let the straggler drain its sleep
+            handle2 = backend.dispatch_round(RoundJob(payload_key="share", operand=v2))
+            got2 = {a.worker_id: a.value for a in handle2}
+            assert sorted(got2) == [0, 1, 2, 3]
+            for wid, value in got2.items():
+                np.testing.assert_array_equal(value, ff_matvec(F, shares[wid], v2))
+
+
+class TestLiveness:
+    def test_heartbeat_detects_zombie_peer(self, rng):
+        """A peer that registers then goes silent must be marked dead
+        by the always-on heartbeat task and recorded as a never-arrived
+        straggler — the round completes without it."""
+        port = free_port()
+        stop = threading.Event()
+
+        def zombie():
+            deadline = time.monotonic() + 20.0
+            while True:  # retry until the master listens
+                try:
+                    sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+                    break
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        raise
+                    time.sleep(0.02)
+            with sock:
+                send_frame(sock, "hello", {"worker_id": 2, "protocol": PROTOCOL_VERSION})
+                read_frame(sock)  # config
+                stop.wait(30.0)  # never answer anything again
+
+        # spawn (fork) the real workers before starting any thread
+        fleet = spawn_local_workers("127.0.0.1", port, [0, 1])
+        thread = threading.Thread(target=zombie, daemon=True)
+        thread.start()
+        try:
+            with AsyncTcpCluster(
+                F,
+                _fleet(3, {}, {}),
+                port=port,
+                spawn_workers=False,
+                heartbeat_interval=0.05,
+                heartbeat_timeout=0.4,
+            ) as backend:
+                shares = F.random((3, 2, 4), rng)
+                v = F.random(4, rng)
+                backend.distribute("share", shares)
+                t0 = time.perf_counter()
+                handle = backend.dispatch_round(RoundJob(payload_key="share", operand=v))
+                arrivals = list(handle)
+                wall = time.perf_counter() - t0
+                rr = handle.result()
+            assert sorted(a.worker_id for a in arrivals) == [0, 1]
+            zombie_arrival = [a for a in rr.arrivals if a.worker_id == 2]
+            assert len(zombie_arrival) == 1
+            assert not np.isfinite(zombie_arrival[0].t_arrival)
+            assert wall < 10.0, "heartbeat detection should beat any long timeout"
+        finally:
+            stop.set()
+            fleet.terminate()
+
+    def test_round_collect_timeout_expires_stragglers(self, rng):
+        """The loop's call_later round deadline records outstanding
+        workers as never-arrived without killing them."""
+        shares = F.random((3, 2, 4), rng)
+        v1 = F.random(4, rng)
+        with AsyncTcpCluster(
+            F, _fleet(3, {1: 21.0}, {}), straggle_scale=0.05, round_timeout=0.25
+        ) as backend:
+            backend.distribute("share", shares)
+            handle = backend.dispatch_round(RoundJob(payload_key="share", operand=v1))
+            arrivals = list(handle)
+            assert sorted(a.worker_id for a in arrivals) == [0, 2]
+            # expired-for-this-round is not dead: after the sleep
+            # drains, an un-deadlined round collects all three
+            assert 1 not in backend._dead
+            time.sleep(1.3)
+            backend.round_timeout = None
+            handle3 = backend.dispatch_round(RoundJob(payload_key="share", operand=v1))
+            got3 = {a.worker_id: a.value for a in handle3}
+            assert sorted(got3) == [0, 1, 2]
+            for wid, value in got3.items():
+                np.testing.assert_array_equal(value, ff_matvec(F, shares[wid], v1))
+
+
+class TestShutdown:
+    def test_close_with_rounds_in_flight(self, rng):
+        """close() while a round is still collecting must resolve the
+        round (outstanding workers become never-arrived), stop the
+        loop, and return promptly — no hang, no leaked thread."""
+        sleep = 3.0
+        factor = 31.0
+        shares = F.random((3, 2, 4), rng)
+        v = F.random(4, rng)
+        backend = AsyncTcpCluster(
+            F, _fleet(3, {2: factor}, {}), straggle_scale=sleep / (factor - 1.0)
+        )
+        try:
+            backend.distribute("share", shares)
+            handle = backend.dispatch_round(RoundJob(payload_key="share", operand=v))
+            # collect the two fast workers, leave the straggler in flight
+            seen = []
+            for a in handle:
+                seen.append(a.worker_id)
+                if len(seen) == 2:
+                    break
+            assert sorted(seen) == [0, 1]
+        finally:
+            t0 = time.perf_counter()
+            backend.close()
+            wall = time.perf_counter() - t0
+        assert wall < sleep * 0.8, "close() waited out an in-flight straggler"
+        rr = handle.result()  # resolves from the pushed missing events
+        assert {a.worker_id for a in rr.arrivals} == {0, 1, 2}
+        late = [a for a in rr.arrivals if a.worker_id == 2]
+        assert math.isinf(late[0].t_arrival)
+        assert not backend._thread.is_alive()
+        backend.close()  # idempotent
+
+
+class TestFanoutScaling:
+    """The ISSUE's headline metric: one master, 64+ workers, O(1)
+    threads."""
+
+    @staticmethod
+    def _run_fleet(n, rng):
+        shares = F.random((n, 2, 4), rng)
+        v = F.random(4, rng)
+        with AsyncTcpCluster(F, _fleet(n, {}, {}), straggle_scale=0.0) as backend:
+            during = threading.active_count()
+            backend.distribute("share", shares)
+            handle = backend.dispatch_round(RoundJob(payload_key="share", operand=v))
+            got = {a.worker_id: a.value for a in handle}
+            handle.result()
+        assert sorted(got) == list(range(n))
+        for wid, value in got.items():
+            np.testing.assert_array_equal(value, ff_matvec(F, shares[wid], v))
+        return during
+
+    @pytest.mark.slow
+    def test_64_workers_with_o1_threads(self, rng):
+        threads_small = self._run_fleet(8, rng)
+        threads_large = self._run_fleet(64, rng)
+        # O(1): the master adds exactly one loop thread regardless of
+        # worker count — 8x the fleet, identical thread census
+        assert threads_large == threads_small
