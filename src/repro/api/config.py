@@ -130,6 +130,14 @@ class SessionConfig:
         requests) overlap — workers compute round *i+1* while the
         master verifies/decodes round *i*. Results are byte-identical
         across window sizes.
+    elastic_membership:
+        When ``True`` (default), every ``end_iteration`` quiesce point
+        also reconciles the coding roster with live fleet membership:
+        pending joiners (restarted daemons, new capacity) are admitted
+        and heartbeat-declared deaths evicted, with the master
+        re-coding over the new roster. ``False`` freezes the roster at
+        session start (pre-0.7 behaviour). Only the socket backends
+        produce membership changes; elsewhere this is inert.
     cost:
         Overrides for :class:`~repro.runtime.costmodel.CostModel`
         fields (e.g. ``{"worker_sec_per_mac": 300e-9}``).
@@ -162,6 +170,7 @@ class SessionConfig:
     workers: tuple[WorkerSpec, ...] = ()
     batch_window: int = 32
     max_inflight_rounds: int = 1
+    elastic_membership: bool = True
     cost: dict[str, Any] = dc_field(default_factory=dict)
     net: NetTunables = dc_field(default_factory=NetTunables)
     backend_options: dict[str, Any] = dc_field(default_factory=dict)

@@ -52,7 +52,7 @@ from repro.api.config import SessionConfig
 from repro.api.registry import resolve_backend, resolve_master
 from repro.api.scheduler import InflightRound, RoundScheduler, SessionClosedError
 from repro.core.results import AdaptationOutcome, RoundOutcome
-from repro.runtime.backend import Backend
+from repro.runtime.backend import Backend, MembershipEvent
 from repro.runtime.trace import RoundRecord
 
 __all__ = ["JobHandle", "JobRequest", "Session", "SessionClosedError", "SessionStats"]
@@ -170,6 +170,11 @@ class SessionStats:
     #: in-flight depth observed at each dispatch (1 = nothing else was
     #: in flight; >= 2 = this round overlapped earlier ones)
     dispatch_depths: list[int] = dc_field(default_factory=list)
+    #: fleet membership transitions (dead/dropped/rejoined/joined) in
+    #: observation order, drained from the backend at iteration
+    #: boundaries and on close — heartbeat-declared deaths show up
+    #: here explicitly, not just as never-arrived stragglers
+    membership_events: list[MembershipEvent] = dc_field(default_factory=list)
 
     @property
     def batched_jobs(self) -> int:
@@ -199,6 +204,34 @@ class SessionStats:
     def rejected_workers(self) -> tuple[int, ...]:
         """Workers that ever failed verification, sorted."""
         return tuple(sorted({w for r in self.records for w in r.rejected_workers}))
+
+    # ------------------------------------------------------------------
+    # membership telemetry
+    # ------------------------------------------------------------------
+    @property
+    def dead_workers(self) -> tuple[int, ...]:
+        """Workers ever declared dead (socket/heartbeat), sorted."""
+        return self._membership_ids("dead")
+
+    @property
+    def rejoined_workers(self) -> tuple[int, ...]:
+        """Previously lost worker ids that re-registered, sorted."""
+        return self._membership_ids("rejoined")
+
+    @property
+    def joined_workers(self) -> tuple[int, ...]:
+        """Brand-new worker ids admitted after startup, sorted."""
+        return self._membership_ids("joined")
+
+    @property
+    def membership_changes(self) -> int:
+        """Total membership transitions observed."""
+        return len(self.membership_events)
+
+    def _membership_ids(self, kind: str) -> tuple[int, ...]:
+        return tuple(
+            sorted({e.worker_id for e in self.membership_events if e.kind == kind})
+        )
 
     # ------------------------------------------------------------------
     # round-time telemetry (feeds the serving layer's deadline batcher)
@@ -254,7 +287,7 @@ class SessionStats:
         return sum(1 for d in self.dispatch_depths if d >= 2)
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.jobs_served}/{self.jobs_submitted} jobs served in "
             f"{self.rounds_executed} rounds "
             f"(batching x{self.batching_factor:.2f}, "
@@ -262,6 +295,13 @@ class SessionStats:
             f"verify {self.verify_time:.4f}s, decode {self.decode_time:.4f}s, "
             f"re-encode {self.reencode_time:.4f}s"
         )
+        if self.membership_events:
+            text += (
+                f"; membership: {len(self.dead_workers)} died, "
+                f"{len(self.rejoined_workers)} rejoined, "
+                f"{len(self.joined_workers)} joined"
+            )
+        return text
 
 
 class Session:
@@ -293,6 +333,11 @@ class Session:
             config.max_inflight_rounds
             if config
             else SessionConfig.__dataclass_fields__["max_inflight_rounds"].default
+        )
+        self.elastic_membership = (
+            config.elastic_membership
+            if config
+            else SessionConfig.__dataclass_fields__["elastic_membership"].default
         )
         self._owns_backend = owns_backend
         self._pending: dict[str, list[tuple[JobHandle, np.ndarray]]] = {}
@@ -504,7 +549,16 @@ class Session:
         bookkeeping otherwise). Draining first is what keeps a re-code
         sound under pipelining: every in-flight round finalizes against
         the shares/keys it was planned with, and no round ever mixes
-        two scheme configurations."""
+        two scheme configurations.
+
+        With ``elastic_membership`` (the default) the drained quiesce
+        point is also where the session reconciles the coding roster
+        with *fleet* membership: pending joiners are admitted into the
+        backend, heartbeat-declared deaths are evicted, and the master
+        adopts the new roster — growing ``N`` when capacity arrived,
+        not just shrinking ``K`` — with the extra share-shipping time
+        folded into the outcome's ``reencode_time``.
+        """
         self._check_open()
         self.flush()
         self._scheduler.drain()
@@ -515,8 +569,81 @@ class Session:
             # the matvec master evicted workers from the shared pool;
             # the gramian master must stop dispatching to them too
             self._gramian_master.drop_workers(out.dropped_workers)
+        if self.elastic_membership:
+            out = self._reconcile_membership(out)
+        self._ingest_membership_events()
         self._stats.adaptations.append(out)
         return out
+
+    def _reconcile_membership(self, out: AdaptationOutcome) -> AdaptationOutcome:
+        """Admit pending joins, evict heartbeat-declared deaths, and
+        have the master adopt the resulting roster. Pipeline is
+        already drained (callers guarantee it), so admission cannot
+        land mid-round."""
+        if not hasattr(self.master, "adopt_membership"):
+            return out
+        joined = self.backend.admit_workers()
+        view = self.backend.membership()
+        active = set(self.master.active)
+        departed = tuple(sorted((set(view.dead) & active) - set(joined)))
+        if not joined and not departed:
+            return out
+        extra = self.master.adopt_membership(joined=joined, departed=departed)
+        if departed and self._gramian_master is not None:
+            gram_active = set(self._gramian_master.active)
+            gone = [w for w in departed if w in gram_active]
+            if gone:
+                self._gramian_master.drop_workers(gone)
+        from dataclasses import replace
+
+        return replace(
+            out,
+            reencode_time=out.reencode_time + extra,
+            scheme=self.master.scheme_now,
+            joined_workers=tuple(joined),
+            departed_workers=departed,
+        )
+
+    def release_workers(self, worker_ids: Any) -> AdaptationOutcome:
+        """Scale *down* deliberately: drain the pipeline, evict the
+        given live workers from the coding roster (re-deriving K for
+        the smaller fleet), and disconnect them from the backend.
+        Reversible — a released worker that later re-dials is admitted
+        back at the next quiesce. Returns the adaptation outcome
+        (also appended to :attr:`stats`)."""
+        self._check_open()
+        ids = tuple(sorted({int(w) for w in worker_ids}))
+        if not ids:
+            raise ValueError("release_workers needs at least one worker id")
+        if not hasattr(self.master, "adopt_membership"):
+            raise RuntimeError(
+                f"this session's master ({type(self.master).__name__}) does "
+                "not support membership changes"
+            )
+        self.flush()
+        self._scheduler.drain()
+        stale = [w for w in ids if w not in set(self.master.active)]
+        if stale:
+            raise ValueError(f"cannot release workers not in the roster: {stale}")
+        extra = self.master.adopt_membership(departed=ids)
+        self.backend.drop_workers(ids)
+        if self._gramian_master is not None:
+            gram_active = set(self._gramian_master.active)
+            gone = [w for w in ids if w in gram_active]
+            if gone:
+                self._gramian_master.drop_workers(gone)
+        self._ingest_membership_events()
+        out = AdaptationOutcome(
+            reencode_time=extra,
+            scheme=self.master.scheme_now,
+            departed_workers=ids,
+        )
+        self._stats.adaptations.append(out)
+        return out
+
+    def _ingest_membership_events(self) -> None:
+        """Drain the backend's membership-transition log into stats."""
+        self._stats.membership_events.extend(self.backend.take_membership_events())
 
     @property
     def stats(self) -> SessionStats:
@@ -635,6 +762,10 @@ class Session:
             else:
                 self._abandon(SessionClosedError("session closed with pending jobs"))
         finally:
+            try:
+                self._ingest_membership_events()
+            except Exception:  # pragma: no cover - telemetry best-effort
+                pass
             self._closed = True
             if self._owns_backend:
                 self.backend.close()

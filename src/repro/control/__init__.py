@@ -1,0 +1,25 @@
+"""The elastic fleet control plane.
+
+This package closes the loop the paper's dynamic coding opens: the
+serving gateway emits per-window quality signals
+(:class:`~repro.control.signals.WindowSignals`), the
+:class:`~repro.control.autoscaler.Autoscaler` policy turns them into
+scale-up / scale-down / re-code decisions with hysteresis and
+cooldowns, and the :class:`~repro.control.controller.FleetController`
+actuates those decisions against a live session — spawning or
+restarting worker daemons through the elastic socket backends and
+re-coding the roster through ``Session.end_iteration`` /
+``Session.release_workers``.
+"""
+
+from repro.control.autoscaler import Autoscaler, AutoscalerConfig, ScaleDecision
+from repro.control.controller import FleetController
+from repro.control.signals import WindowSignals
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "FleetController",
+    "ScaleDecision",
+    "WindowSignals",
+]

@@ -1,0 +1,209 @@
+"""The SLO-driven autoscaling policy (pure decision logic).
+
+:class:`Autoscaler` consumes one
+:class:`~repro.control.signals.WindowSignals` per control window and
+emits one :class:`ScaleDecision`. It holds no handles to the fleet —
+actuation lives in :class:`~repro.control.controller.FleetController`
+— so the policy is deterministic and unit-testable on synthetic
+signal streams.
+
+Why hysteresis and cooldowns
+----------------------------
+A coded fleet pays a real price for every membership change: a
+re-code re-ships shares to the whole roster and (for a scale-up) the
+new capacity only helps after the next quiesce point. Reacting to one
+bad window would thrash — a single straggler-heavy window triggers a
+scale-up whose re-code itself causes the next SLO dip, which triggers
+another. So breaches must *persist* (``scale_up_after`` consecutive
+windows) before scaling up, calm must persist much longer
+(``scale_down_after``) before scaling down, and every scaling action
+opens a ``cooldown_windows``-long refractory period in which only
+re-code reconciliation (admitting joiners, evicting the dead — cheap
+and necessary) is allowed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.control.signals import WindowSignals
+
+__all__ = ["Autoscaler", "AutoscalerConfig", "ScaleDecision"]
+
+#: decision kinds
+HOLD = "hold"
+SCALE_UP = "scale_up"
+SCALE_DOWN = "scale_down"
+RECODE = "recode"
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """One control-window verdict.
+
+    ``action`` is ``"hold" | "scale_up" | "scale_down" | "recode"``;
+    ``delta`` is the worker count to add/remove (0 for hold/recode);
+    ``reason`` is a human-readable audit line.
+    """
+
+    action: str = HOLD
+    delta: int = 0
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Policy knobs.
+
+    Attributes
+    ----------
+    slo_target:
+        Window SLO attainment below this is a breach.
+    queue_high:
+        Queue depth above this at window close is a breach.
+    shed_high:
+        Window shed rate above this is a breach.
+    scale_up_after:
+        Consecutive breach windows before scaling up.
+    scale_down_after:
+        Consecutive calm windows before scaling down (should be well
+        above ``scale_up_after`` — adding capacity late is worse than
+        holding spare capacity briefly).
+    cooldown_windows:
+        Refractory windows after any scaling action.
+    min_workers, max_workers:
+        Live-fleet clamp.
+    scale_step:
+        Workers added/removed per action.
+    """
+
+    slo_target: float = 0.95
+    queue_high: int = 16
+    shed_high: float = 0.05
+    scale_up_after: int = 2
+    scale_down_after: int = 4
+    cooldown_windows: int = 2
+    min_workers: int = 1
+    max_workers: int = 64
+    scale_step: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.slo_target <= 1.0:
+            raise ValueError(f"slo_target must be in (0, 1], got {self.slo_target}")
+        if self.queue_high < 1:
+            raise ValueError(f"queue_high must be >= 1, got {self.queue_high}")
+        if not 0.0 <= self.shed_high <= 1.0:
+            raise ValueError(f"shed_high must be in [0, 1], got {self.shed_high}")
+        if self.scale_up_after < 1 or self.scale_down_after < 1:
+            raise ValueError("scale_up_after/scale_down_after must be >= 1")
+        if self.cooldown_windows < 0:
+            raise ValueError(f"cooldown_windows must be >= 0, got {self.cooldown_windows}")
+        if not 1 <= self.min_workers <= self.max_workers:
+            raise ValueError(
+                f"need 1 <= min_workers <= max_workers, got "
+                f"{self.min_workers}..{self.max_workers}"
+            )
+        if self.scale_step < 1:
+            raise ValueError(f"scale_step must be >= 1, got {self.scale_step}")
+
+
+class Autoscaler:
+    """Streak-counting policy: signals in, :class:`ScaleDecision` out.
+
+    Call :meth:`observe` once per window, in order. Every decision is
+    also appended to :attr:`decisions` for audit.
+    """
+
+    def __init__(self, config: AutoscalerConfig | None = None) -> None:
+        self.config = config or AutoscalerConfig()
+        self.decisions: list[ScaleDecision] = []
+        self._breach_streak = 0
+        self._calm_streak = 0
+        self._cooldown = 0
+
+    # ------------------------------------------------------------------
+    def _breaches(self, s: WindowSignals) -> list[str]:
+        cfg = self.config
+        out: list[str] = []
+        if s.slo_attainment < cfg.slo_target:
+            out.append(
+                f"slo {s.slo_attainment:.0%} < target {cfg.slo_target:.0%}"
+            )
+        if s.queue_depth > cfg.queue_high:
+            out.append(f"queue depth {s.queue_depth} > {cfg.queue_high}")
+        if s.shed_rate > cfg.shed_high:
+            out.append(f"shed rate {s.shed_rate:.0%} > {cfg.shed_high:.0%}")
+        return out
+
+    @staticmethod
+    def _needs_recode(s: WindowSignals) -> bool:
+        """Roster drift that a quiesce-point reconciliation fixes for
+        free: joiners waiting for admission, or dead workers still in
+        the coding roster."""
+        return s.pending_workers > 0 or s.dead_workers > 0
+
+    def observe(self, signals: WindowSignals) -> ScaleDecision:
+        """Consume one window; return (and record) the decision."""
+        cfg = self.config
+        breaches = self._breaches(signals)
+        if breaches:
+            self._breach_streak += 1
+            self._calm_streak = 0
+        else:
+            self._calm_streak += 1
+            self._breach_streak = 0
+
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            if self._needs_recode(signals):
+                decision = ScaleDecision(
+                    RECODE,
+                    reason=(
+                        f"cooldown, but {signals.pending_workers} pending / "
+                        f"{signals.dead_workers} dead workers need reconciling"
+                    ),
+                )
+            else:
+                decision = ScaleDecision(HOLD, reason="cooldown")
+        elif breaches and self._breach_streak >= cfg.scale_up_after:
+            if signals.live_workers >= cfg.max_workers:
+                decision = ScaleDecision(
+                    HOLD, reason="at max_workers under breach: " + "; ".join(breaches)
+                )
+            else:
+                delta = min(cfg.scale_step, cfg.max_workers - signals.live_workers)
+                decision = ScaleDecision(
+                    SCALE_UP,
+                    delta=delta,
+                    reason=(
+                        f"{self._breach_streak} breach windows: "
+                        + "; ".join(breaches)
+                    ),
+                )
+                self._cooldown = cfg.cooldown_windows
+                self._breach_streak = 0
+        elif (
+            not breaches
+            and self._calm_streak >= cfg.scale_down_after
+            and signals.live_workers > cfg.min_workers
+        ):
+            delta = min(cfg.scale_step, signals.live_workers - cfg.min_workers)
+            decision = ScaleDecision(
+                SCALE_DOWN,
+                delta=delta,
+                reason=f"{self._calm_streak} calm windows",
+            )
+            self._cooldown = cfg.cooldown_windows
+            self._calm_streak = 0
+        elif self._needs_recode(signals):
+            decision = ScaleDecision(
+                RECODE,
+                reason=(
+                    f"{signals.pending_workers} pending / "
+                    f"{signals.dead_workers} dead workers need reconciling"
+                ),
+            )
+        else:
+            decision = ScaleDecision(HOLD)
+        self.decisions.append(decision)
+        return decision

@@ -1,0 +1,129 @@
+"""The fleet controller: decisions in, membership changes out.
+
+:class:`FleetController` is the actuation half of the control plane.
+Per control window it feeds the window's
+:class:`~repro.control.signals.WindowSignals` to its
+:class:`~repro.control.autoscaler.Autoscaler` and executes the
+returned decision against the live session:
+
+* ``scale_up`` — revive dead/dropped worker ids first (their daemon
+  processes are gone; ``restart_worker`` launches replacements), then
+  spawn brand-new ids beyond the roster; wait for the daemons to dial
+  in, then run ``session.end_iteration()`` so the quiesce point
+  admits them and re-codes over the grown fleet.
+* ``scale_down`` — release the highest-id live workers through
+  ``session.release_workers`` (re-deriving K for the smaller fleet).
+* ``recode`` — just ``session.end_iteration()``: admit pending
+  joiners, evict the heartbeat-dead, re-code if K changed.
+* ``hold`` — nothing.
+
+The controller only ever acts at the caller's window boundary (the
+gateway invokes :meth:`on_window` from its event loop between
+dispatches), so every membership change goes through the session's
+drained quiesce point and never lands mid-round.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.control.autoscaler import Autoscaler, ScaleDecision
+from repro.control.signals import WindowSignals
+from repro.core.results import AdaptationOutcome
+
+__all__ = ["FleetController"]
+
+
+class FleetController:
+    """Actuate autoscaling decisions against a live elastic session.
+
+    Parameters
+    ----------
+    session:
+        The :class:`~repro.api.session.Session` to control. Scaling
+        actions need an elastic backend (the socket clusters) exposing
+        ``restart_worker``/``spawn_worker``; ``recode`` works on any
+        backend (it is just an ``end_iteration``).
+    autoscaler:
+        The decision policy (default-configured
+        :class:`~repro.control.autoscaler.Autoscaler` if omitted).
+    spawn_wait:
+        Wall-clock seconds to wait for freshly spawned daemons to dial
+        in before reconciling anyway (a late daemon is simply admitted
+        at the next window).
+    poll_interval:
+        Membership polling cadence while waiting.
+    """
+
+    def __init__(
+        self,
+        session: Any,
+        autoscaler: Autoscaler | None = None,
+        *,
+        spawn_wait: float = 10.0,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self.session = session
+        self.autoscaler = autoscaler or Autoscaler()
+        self.spawn_wait = spawn_wait
+        self.poll_interval = poll_interval
+        #: (decision, outcome-or-None) per window, in order
+        self.actions: list[tuple[ScaleDecision, AdaptationOutcome | None]] = []
+
+    # ------------------------------------------------------------------
+    def on_window(self, signals: WindowSignals) -> ScaleDecision:
+        """Feed one window to the policy and actuate its decision."""
+        decision = self.autoscaler.observe(signals)
+        outcome: AdaptationOutcome | None = None
+        if decision.action == "scale_up":
+            outcome = self._scale_up(decision.delta)
+        elif decision.action == "scale_down":
+            outcome = self._scale_down(decision.delta)
+        elif decision.action == "recode":
+            outcome = self.session.end_iteration()
+        self.actions.append((decision, outcome))
+        return decision
+
+    # ------------------------------------------------------------------
+    def _scale_up(self, delta: int) -> AdaptationOutcome:
+        backend = self.session.backend
+        if not hasattr(backend, "spawn_worker"):
+            raise RuntimeError(
+                f"backend {type(backend).__name__} cannot spawn workers; "
+                "scale-up needs an elastic socket backend"
+            )
+        view = backend.membership()
+        pending = set(view.pending)
+        targets: list[int] = []
+        # heal holes first: dead/dropped ids whose daemons are gone
+        for wid in (*view.dead, *view.dropped):
+            if len(targets) >= delta:
+                break
+            if wid in pending:
+                continue  # already re-dialed on its own
+            backend.restart_worker(wid)
+            targets.append(wid)
+        # then genuinely new capacity beyond the roster
+        next_id = view.n
+        while len(targets) < delta:
+            backend.spawn_worker(next_id)
+            targets.append(next_id)
+            next_id += 1
+        self._await_dialed(set(targets))
+        return self.session.end_iteration()
+
+    def _await_dialed(self, targets: set[int]) -> None:
+        """Wait (bounded) until every target is pending or live."""
+        deadline = time.monotonic() + self.spawn_wait
+        while time.monotonic() < deadline:
+            view = self.session.backend.membership()
+            if targets <= set(view.pending) | set(view.live):
+                return
+            time.sleep(self.poll_interval)
+
+    def _scale_down(self, delta: int) -> AdaptationOutcome:
+        view = self.session.backend.membership()
+        live = sorted(view.live)
+        victims = live[-delta:] if delta < len(live) else live[1:]
+        return self.session.release_workers(victims)

@@ -1,0 +1,85 @@
+"""Per-window control signals: what the autoscaler policy sees.
+
+One :class:`WindowSignals` summarizes a fixed-length slice of a
+gateway run — the serving-quality side (completions, sheds, queue
+depth, SLO attainment, tail latency, deadline slack) joined with the
+fleet side (live/pending/dead workers, straggler and Byzantine
+observations from the session's adaptation telemetry). The gateway
+builds one per ``control_interval`` (see
+:class:`~repro.serve.gateway.Gateway`); the policy never reaches into
+the gateway or session itself.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+from typing import Any
+
+__all__ = ["WindowSignals"]
+
+
+@dataclass(frozen=True)
+class WindowSignals:
+    """One control window's observations (all trace-clock seconds).
+
+    Attributes
+    ----------
+    window_index:
+        0-based window ordinal within the run.
+    t_start, t_end:
+        The window's bounds on the trace clock.
+    completed:
+        Requests that reached a terminal outcome this window.
+    served, shed:
+        Split of ``completed`` into successes and sheds.
+    queue_depth:
+        Requests waiting in the admission queues at window close.
+    slo_attainment:
+        Fraction of this window's deadline-carrying completions that
+        met their deadline (1.0 when none carried one).
+    p99_latency:
+        p99 latency of this window's served requests (NaN if none).
+    deadline_slack:
+        Minimum ``deadline - completion`` over this window's served
+        deadline-carrying requests — how close the service is sailing
+        to the SLO cliff (NaN if none; negative = misses).
+    live_workers, pending_workers, dead_workers:
+        Fleet roster at window close (pending = handshaken joiners
+        awaiting admission).
+    observed_stragglers, detected_byzantine:
+        Distinct worker counts from the session's adaptation/round
+        telemetry since the previous window.
+    """
+
+    window_index: int
+    t_start: float
+    t_end: float
+    completed: int
+    served: int
+    shed: int
+    queue_depth: int
+    slo_attainment: float
+    p99_latency: float
+    deadline_slack: float
+    live_workers: int
+    pending_workers: int
+    dead_workers: int
+    observed_stragglers: int = 0
+    detected_byzantine: int = 0
+
+    @property
+    def shed_rate(self) -> float:
+        """Sheds as a fraction of this window's completions."""
+        if not self.completed:
+            return 0.0
+        return self.shed / self.completed
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able form (non-finite floats become ``None``)."""
+        out = asdict(self)
+        for key, value in out.items():
+            if isinstance(value, float) and not math.isfinite(value):
+                out[key] = None
+        out["shed_rate"] = self.shed_rate
+        return out

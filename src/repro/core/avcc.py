@@ -285,3 +285,55 @@ class AVCCMaster(MatvecMasterBase):
         )
         self._reset_iteration_observations()
         return out
+
+    # ------------------------------------------------------------------
+    def adopt_membership(
+        self,
+        joined: tuple[int, ...] | list[int] = (),
+        departed: tuple[int, ...] | list[int] = (),
+    ) -> float:
+        """Reconcile the coding roster with a fleet membership change.
+
+        ``joined`` are workers admitted at this quiesce point (rejoins
+        and brand-new capacity alike); ``departed`` are workers gone
+        for non-Byzantine reasons (heartbeat-declared deaths, explicit
+        releases). Where ``end_iteration`` can only *shrink* K over
+        the survivors, this can also **grow** N when capacity arrives:
+        the roster is recomputed, K is re-derived from the static
+        provisioning target ``K = min(scheme.k, N - (S+M+T))`` (floored
+        at the policy minimum) and, whenever any worker joined or K
+        changed, a full config for the new ``(N, K)`` is installed —
+        re-shipping shares to *every* participant, because a rejoined
+        daemon restarts with empty storage. A pure departure at
+        unchanged K only prunes positions/keys: the surviving shares
+        of the old code remain valid, so nothing is re-shipped.
+
+        Returns the backend-clock seconds spent re-shipping shares
+        (0.0 when nothing was shipped).
+        """
+        if self._cfg is None:
+            raise RuntimeError("setup() must be called before membership changes")
+        joined = tuple(int(w) for w in joined)
+        gone = set(int(w) for w in departed) - set(joined)
+        new_active = sorted((set(self.active) - gone) | set(joined))
+        if not new_active:
+            raise ValueError("membership change would leave no live workers")
+        n_new = len(new_active)
+        k_now = self._cfg.k
+        if self.adaptive:
+            budget = self.scheme.s + self.scheme.m + self.scheme.t
+            k_new = min(self.scheme.k, n_new - budget, n_new)
+            k_new = max(k_new, self.policy.min_k)
+        else:
+            k_new = k_now
+        self.active = new_active
+        if joined or k_new != k_now:
+            return self._install_config(n_new, k_new, self.active)
+        # pure departure at unchanged K: surviving positions stay valid
+        live = set(self.active)
+        self._code_pos = {w: p for w, p in self._code_pos.items() if w in live}
+        self._keys = {
+            fam: {w: key for w, key in keys.items() if w in live}
+            for fam, keys in self._keys.items()
+        }
+        return 0.0

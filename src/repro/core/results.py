@@ -48,6 +48,13 @@ class AdaptationOutcome:
         ``S_t``: workers whose results the master never used.
     detected_byzantine:
         ``M_t``: workers that failed verification this iteration.
+    joined_workers:
+        Workers admitted into the roster at this quiesce point
+        (rejoins of dead/dropped ids and brand-new capacity alike).
+    departed_workers:
+        Workers evicted from the roster at this quiesce point for
+        reasons *other* than Byzantine detection — heartbeat-declared
+        deaths reconciled by the session, or explicit releases.
     """
 
     reencode_time: float = 0.0
@@ -55,3 +62,5 @@ class AdaptationOutcome:
     dropped_workers: tuple[int, ...] = ()
     observed_stragglers: tuple[int, ...] = ()
     detected_byzantine: tuple[int, ...] = ()
+    joined_workers: tuple[int, ...] = ()
+    departed_workers: tuple[int, ...] = ()

@@ -48,6 +48,7 @@ The contract has three parts:
 from __future__ import annotations
 
 import math
+import threading
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
@@ -62,6 +63,8 @@ from repro.runtime.costmodel import CostModel
 __all__ = [
     "Arrival",
     "Backend",
+    "MembershipEvent",
+    "MembershipView",
     "RoundHandle",
     "RoundJob",
     "RoundResult",
@@ -69,6 +72,42 @@ __all__ = [
     "job_macs",
     "run_job_compute",
 ]
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One change in the fleet roster, stamped with the backend clock.
+
+    ``kind`` is one of ``"dead"`` (socket error / heartbeat lapse),
+    ``"dropped"`` (evicted by the dynamic-coding policy or a voluntary
+    scale-down), ``"rejoined"`` (a known id re-admitted after a restart)
+    or ``"joined"`` (a brand-new id extended the fleet).
+    """
+
+    kind: str
+    worker_id: int
+    t: float
+
+
+@dataclass(frozen=True)
+class MembershipView:
+    """A point-in-time snapshot of the fleet roster.
+
+    ``n`` is the total id space (``0..n-1``); ``live`` the connected
+    workers, ``dead``/``dropped`` the involuntary/voluntary leavers and
+    ``pending`` the handshaken joiners parked until the next
+    between-rounds :meth:`Backend.admit_workers` call.
+    """
+
+    n: int
+    live: tuple[int, ...]
+    dead: tuple[int, ...]
+    dropped: tuple[int, ...]
+    pending: tuple[int, ...]
+
+    @property
+    def live_count(self) -> int:
+        return len(self.live)
 
 
 @dataclass(frozen=True)
@@ -291,6 +330,30 @@ class Backend(ABC):
         the default is bookkeeping-free. Dropped ids must not appear
         in later ``participants``."""
 
+    # ------------------------------------------------------------------
+    # elastic membership (no-ops on fixed-fleet backends)
+    # ------------------------------------------------------------------
+    def membership(self) -> MembershipView:
+        """The current fleet roster. Fixed-fleet backends report every
+        worker live; elastic backends (the socket clusters) report
+        dead/dropped workers and handshaken joiners awaiting
+        admission."""
+        ids = tuple(range(self.n))
+        return MembershipView(n=self.n, live=ids, dead=(), dropped=(), pending=())
+
+    def admit_workers(self) -> tuple[int, ...]:
+        """Admit every pending joiner into the roster and return the
+        admitted ids. Must only be called *between* rounds (the session
+        calls it from ``end_iteration`` after draining the pipeline);
+        elastic backends raise if rounds are in flight. The default is
+        a no-op for backends without elastic membership."""
+        return ()
+
+    def take_membership_events(self) -> tuple[MembershipEvent, ...]:
+        """Drain and return the membership-change events recorded since
+        the last call (empty on fixed-fleet backends)."""
+        return ()
+
     def close(self) -> None:
         """Release backend resources (pools, processes, shared memory)."""
 
@@ -328,6 +391,8 @@ class WallClockBackend(Backend):
         self._t0 = time.perf_counter()
         self._floor = 0.0
         self._dropped: set[int] = set()
+        self._membership_events: list[MembershipEvent] = []
+        self._membership_lock = threading.Lock()
 
     @property
     def now(self) -> float:
@@ -337,7 +402,23 @@ class WallClockBackend(Backend):
         self._floor = max(self._floor, t)
 
     def drop_workers(self, worker_ids: Sequence[int]) -> None:
+        for wid in worker_ids:
+            if int(wid) not in self._dropped:
+                self._note_membership("dropped", int(wid))
         self._dropped.update(int(w) for w in worker_ids)
+
+    def _note_membership(self, kind: str, worker_id: int) -> None:
+        """Record one roster change (safe from any thread — the socket
+        backends call this from their pump/loop threads)."""
+        event = MembershipEvent(kind=kind, worker_id=int(worker_id), t=self.now)
+        with self._membership_lock:
+            self._membership_events.append(event)
+
+    def take_membership_events(self) -> tuple[MembershipEvent, ...]:
+        with self._membership_lock:
+            events = tuple(self._membership_events)
+            self._membership_events.clear()
+        return events
 
     def _check_not_dropped(self, participants: Sequence[int]) -> None:
         dead = self._dropped.intersection(participants)

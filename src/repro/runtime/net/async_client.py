@@ -40,6 +40,15 @@ the sync backend.
 Fork safety: the loopback fleet is spawned *before* the loop thread
 starts (workers retry-dial), so fork-mode children never inherit a
 thread's locks.
+
+Elastic membership mirrors the sync cluster: the asyncio server keeps
+accepting after initial registration, version-checks each late
+``hello`` (:func:`~repro.runtime.net.wire.check_hello`), and parks the
+handshaken connection as a pending join — no reader task yet, so a
+parked daemon cannot inject frames. ``admit_workers()`` (refused while
+rounds are in flight) moves pending joins into the roster on the loop
+thread; ``drop_workers`` is reversible the same way, and
+``membership()`` / ``take_membership_events()`` report the state.
 """
 
 from __future__ import annotations
@@ -56,6 +65,7 @@ import numpy as np
 from repro.ff.field import PrimeField
 from repro.runtime.backend import (
     Arrival,
+    MembershipView,
     RoundHandle,
     RoundJob,
     RoundResult,
@@ -67,6 +77,7 @@ from repro.runtime.net.tunables import NetTunables
 from repro.runtime.net.wire import (
     WireError,
     behavior_to_dict,
+    check_hello,
     encode_frame,
     read_frame_async,
 )
@@ -278,6 +289,10 @@ class AsyncTcpCluster(WallClockBackend):
         self._hb_seq = 0
         #: wid -> loop-clock time of the oldest unanswered heartbeat
         self._hb_pending: dict[int, float | None] = {}
+        #: wid -> handshaken (reader, writer) parked until admit_workers()
+        self._pending_joins: dict[
+            int, tuple[asyncio.StreamReader, asyncio.StreamWriter]
+        ] = {}
         self._hb_task: asyncio.Task | None = None
         self._server: asyncio.AbstractServer | None = None
         self._registered = asyncio.Event()  # bound to the loop at start
@@ -351,6 +366,19 @@ class AsyncTcpCluster(WallClockBackend):
     def _expected(self) -> set[int]:
         return {w.worker_id for w in self.workers}
 
+    def _worker_config(self, wid: int) -> dict:
+        """The ``config`` frame for a worker id — the declared fleet
+        spec when the id is known, honest full-speed defaults for a
+        brand-new joiner beyond the current roster."""
+        w = self.workers[wid] if wid < len(self.workers) else SimWorker(wid)
+        return {
+            "q": self.field.q,
+            "straggle_scale": self.straggle_scale,
+            "factor": float(getattr(w.profile, "factor", 1.0)),
+            "behavior": behavior_to_dict(w.behavior),
+            "seed": wid,
+        }
+
     async def _on_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -360,27 +388,25 @@ class AsyncTcpCluster(WallClockBackend):
             )
             if kind != "hello":
                 raise WireError(f"expected hello, got {kind!r}")
-            wid = int(fields["worker_id"])
-            if wid not in self._expected() or wid in self._writers:
+            wid = check_hello(fields)
+            late = self._registered.is_set()
+            if not late and (wid not in self._expected() or wid in self._writers):
                 raise WireError(f"unexpected or duplicate worker id {wid}")
-            w = self.workers[wid]
-            writer.write(
-                b"".join(
-                    encode_frame(
-                        "config",
-                        {
-                            "q": self.field.q,
-                            "straggle_scale": self.straggle_scale,
-                            "factor": float(getattr(w.profile, "factor", 1.0)),
-                            "behavior": behavior_to_dict(w.behavior),
-                            "seed": wid,
-                        },
-                    )
-                )
-            )
+            writer.write(b"".join(encode_frame("config", self._worker_config(wid))))
             await asyncio.wait_for(writer.drain(), self.io_timeout)
         except (*_CONN_ERRORS, KeyError, ValueError):
             writer.close()
+            return
+        if late:
+            # park as a pending join — no reader task until admitted,
+            # so a parked daemon cannot inject frames into the pump
+            stale = self._pending_joins.pop(wid, None)
+            if stale is not None:  # superseded by this fresher dial
+                try:
+                    stale[1].close()
+                except Exception:  # pragma: no cover - close best-effort
+                    pass
+            self._pending_joins[wid] = (reader, writer)
             return
         sock = writer.get_extra_info("socket")
         if sock is not None:
@@ -446,6 +472,8 @@ class AsyncTcpCluster(WallClockBackend):
             return
         self._dead.add(wid)
         self._hb_pending[wid] = None
+        if wid not in self._dropped:
+            self._note_membership("dead", wid)
         task = self._reader_tasks.pop(wid, None)
         if task is not None and task is not asyncio.current_task():
             task.cancel()
@@ -496,6 +524,89 @@ class AsyncTcpCluster(WallClockBackend):
                     and loop.time() - since > self.heartbeat_timeout
                 ):
                     self._mark_dead(wid)
+
+    # ------------------------------------------------------------------
+    # elastic membership (sync facade over loop-side state)
+    # ------------------------------------------------------------------
+    def admit_workers(self) -> tuple[int, ...]:
+        """Admit every admissible pending join into the roster.
+
+        Must be called between rounds (raises ``RuntimeError`` while
+        any round is in flight). Semantics match
+        :meth:`TcpCluster.admit_workers`: live duplicates are
+        discarded, a next-dense id joins as a new honest worker,
+        gapped ids wait."""
+        return tuple(self._call(self._admit_on_loop()))
+
+    async def _admit_on_loop(self) -> list[int]:
+        if self._rounds:
+            raise RuntimeError(
+                "cannot admit workers mid-round: drain in-flight rounds first"
+            )
+        admitted: list[int] = []
+        for wid in sorted(self._pending_joins):
+            reader, writer = self._pending_joins[wid]
+            if wid in self._writers:
+                del self._pending_joins[wid]
+                try:
+                    writer.close()
+                except Exception:  # pragma: no cover - close best-effort
+                    pass
+                continue
+            if wid > len(self.workers):
+                continue
+            del self._pending_joins[wid]
+            fresh = wid == len(self.workers)
+            if fresh:
+                self.workers.append(SimWorker(wid))
+            self._dead.discard(wid)
+            self._dropped.discard(wid)
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._writers[wid] = writer
+            self._hb_pending[wid] = None
+            self._reader_tasks[wid] = asyncio.get_running_loop().create_task(
+                self._reader_loop(wid, reader)
+            )
+            self._note_membership("joined" if fresh else "rejoined", wid)
+            admitted.append(wid)
+        return admitted
+
+    def membership(self) -> MembershipView:
+        """Current roster split, snapshotted on the loop thread."""
+        return self._call(self._membership_on_loop())
+
+    async def _membership_on_loop(self) -> MembershipView:
+        return MembershipView(
+            n=len(self.workers),
+            live=tuple(sorted(self._writers)),
+            dead=tuple(sorted(self._dead - self._dropped)),
+            dropped=tuple(sorted(self._dropped)),
+            pending=tuple(sorted(self._pending_joins)),
+        )
+
+    def restart_worker(self, worker_id: int) -> None:
+        """Replace a (self-spawned) worker's process with a fresh
+        daemon; it re-dials and is admitted at the next quiesce."""
+        if self._fleet is None:
+            raise RuntimeError(
+                "no self-spawned fleet: restart externally launched daemons "
+                "from wherever they were started"
+            )
+        self._fleet.restart_worker(worker_id)
+
+    def spawn_worker(self, worker_id: int | None = None) -> int:
+        """Launch one additional (self-spawned) daemon; defaults to the
+        next dense id. Returns the id it will register under."""
+        if self._fleet is None:
+            raise RuntimeError(
+                "no self-spawned fleet: launch externally managed daemons "
+                "from wherever the fleet is run"
+            )
+        wid = len(self.workers) if worker_id is None else int(worker_id)
+        self._fleet.spawn_worker(wid)
+        return wid
 
     # ------------------------------------------------------------------
     @property
@@ -714,5 +825,11 @@ class AsyncTcpCluster(WallClockBackend):
         self._reader_tasks.clear()
         for wid in list(self._writers):
             self._close_writer(wid)
+        for _, writer in self._pending_joins.values():
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - close is best-effort
+                pass
+        self._pending_joins.clear()
         if self._server is not None:
             self._server.close()

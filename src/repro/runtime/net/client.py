@@ -46,6 +46,23 @@ for that round (but stay in the pool).
 
 Worker-pool mutation (dynamic re-coding) disconnects dropped workers
 for real: ``drop_workers`` ships ``shutdown`` and closes the socket.
+
+Elastic membership
+------------------
+The listener stays open for the cluster's whole life: a daemon dialing
+in *after* the initial registration — a restarted process rejoining,
+or a brand-new worker scaling the fleet up — completes the same
+``hello``/``config`` handshake (version-checked by
+:func:`~repro.runtime.net.wire.check_hello`) and is parked as a
+*pending join*. Pending joins are admitted into the roster only by an
+explicit :meth:`TcpCluster.admit_workers` call, which refuses to run
+while rounds are in flight — membership changes happen at the same
+between-rounds quiesce points as dynamic re-coding, never mid-round.
+``drop_workers`` is therefore reversible: a dropped id that re-dials
+is re-admitted like any rejoin. :meth:`TcpCluster.membership` reports
+the live/dead/dropped/pending split and
+:meth:`~repro.runtime.backend.Backend.take_membership_events` the
+transition history.
 """
 
 from __future__ import annotations
@@ -60,6 +77,7 @@ import numpy as np
 from repro.ff.field import PrimeField
 from repro.runtime.backend import (
     Arrival,
+    MembershipView,
     RoundHandle,
     RoundJob,
     RoundResult,
@@ -71,6 +89,7 @@ from repro.runtime.net.tunables import NetTunables
 from repro.runtime.net.wire import (
     WireError,
     behavior_to_dict,
+    check_hello,
     encode_frame,
     read_frame,
     send_frame,
@@ -284,6 +303,8 @@ class TcpCluster(WallClockBackend):
         self._last_hb = 0.0
         #: wid -> monotonic time of the oldest unanswered heartbeat
         self._hb_pending: dict[int, float | None] = {}
+        #: wid -> handshaken socket parked until the next admit_workers()
+        self._pending_joins: dict[int, socket.socket] = {}
         self._fleet: LocalFleet | None = None
         self._closed = False
 
@@ -299,6 +320,10 @@ class TcpCluster(WallClockBackend):
                     connect_timeout=connect_timeout,
                 )
             self._accept_fleet()
+            # the listener stays open for late joiners: non-blocking
+            # accepts ride the result pump via the selector
+            self._listener.setblocking(False)
+            self._sel.register(self._listener, selectors.EVENT_READ, data=None)
         except BaseException:
             self.close()
             raise
@@ -328,21 +353,10 @@ class TcpCluster(WallClockBackend):
                 kind, fields, _ = read_frame(conn)
                 if kind != "hello":
                     raise WireError(f"expected hello, got {kind!r}")
-                wid = int(fields["worker_id"])
+                wid = check_hello(fields)
                 if wid not in expected or wid in self._conns:
                     raise WireError(f"unexpected or duplicate worker id {wid}")
-                w = self.workers[wid]
-                send_frame(
-                    conn,
-                    "config",
-                    {
-                        "q": self.field.q,
-                        "straggle_scale": self.straggle_scale,
-                        "factor": float(getattr(w.profile, "factor", 1.0)),
-                        "behavior": behavior_to_dict(w.behavior),
-                        "seed": wid,
-                    },
-                )
+                send_frame(conn, "config", self._worker_config(wid))
             except (WireError, OSError, ConnectionError, KeyError, ValueError):
                 conn.close()
                 continue
@@ -356,6 +370,130 @@ class TcpCluster(WallClockBackend):
             self._conns[wid] = conn
             self._sel.register(conn, selectors.EVENT_READ, data=wid)
             self._hb_pending[wid] = None
+
+    def _worker_config(self, wid: int) -> dict:
+        """The ``config`` frame for a worker id — the declared fleet
+        spec when the id is known, honest full-speed defaults for a
+        brand-new joiner beyond the current roster."""
+        w = self.workers[wid] if wid < len(self.workers) else SimWorker(wid)
+        return {
+            "q": self.field.q,
+            "straggle_scale": self.straggle_scale,
+            "factor": float(getattr(w.profile, "factor", 1.0)),
+            "behavior": behavior_to_dict(w.behavior),
+            "seed": wid,
+        }
+
+    # ------------------------------------------------------------------
+    # elastic membership: late joins, admission, fleet respawn
+    # ------------------------------------------------------------------
+    def _accept_pending(self) -> None:
+        """Drain the listener backlog, handshaking each dialer into the
+        pending-join pool (never into the live roster)."""
+        if self._closed:
+            return
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except (BlockingIOError, socket.timeout, OSError):
+                return
+            self._handshake_joiner(conn)
+
+    def _handshake_joiner(self, conn: socket.socket) -> None:
+        # bounded handshake: a stalled dialer must not wedge the pump
+        conn.settimeout(min(self.io_timeout or 2.0, 2.0))
+        try:
+            kind, fields, _ = read_frame(conn)
+            if kind != "hello":
+                raise WireError(f"expected hello, got {kind!r}")
+            wid = check_hello(fields)
+            send_frame(conn, "config", self._worker_config(wid))
+        except (WireError, OSError, ConnectionError, KeyError, ValueError):
+            conn.close()
+            return
+        stale = self._pending_joins.pop(wid, None)
+        if stale is not None:  # superseded by this fresher dial
+            try:
+                stale.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+        self._pending_joins[wid] = conn
+
+    def admit_workers(self) -> tuple[int, ...]:
+        """Admit every admissible pending join into the roster.
+
+        Must be called between rounds (raises ``RuntimeError`` while
+        any round is in flight): admitted workers immediately count as
+        live and would otherwise surface mid-round. A pending id that
+        is still live is a duplicate dial and is discarded; an id past
+        the end of the roster joins as a *new* honest worker (ids stay
+        dense 0..n-1, so gapped ids wait for the gap to fill).
+        """
+        if self._handles:
+            raise RuntimeError(
+                "cannot admit workers mid-round: drain in-flight rounds first"
+            )
+        self._accept_pending()
+        admitted: list[int] = []
+        for wid in sorted(self._pending_joins):
+            conn = self._pending_joins[wid]
+            if wid in self._conns:
+                del self._pending_joins[wid]
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - close is best-effort
+                    pass
+                continue
+            if wid > len(self.workers):
+                continue
+            del self._pending_joins[wid]
+            fresh = wid == len(self.workers)
+            if fresh:
+                self.workers.append(SimWorker(wid))
+            self._dead.discard(wid)
+            self._dropped.discard(wid)
+            conn.settimeout(self.io_timeout)
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._conns[wid] = conn
+            self._sel.register(conn, selectors.EVENT_READ, data=wid)
+            self._hb_pending[wid] = None
+            self._note_membership("joined" if fresh else "rejoined", wid)
+            admitted.append(wid)
+        return tuple(admitted)
+
+    def membership(self) -> MembershipView:
+        """Current roster split (sweeps the listener backlog first, so
+        a freshly dialed daemon shows up as pending right away)."""
+        self._accept_pending()
+        return MembershipView(
+            n=len(self.workers),
+            live=tuple(sorted(self._conns)),
+            dead=tuple(sorted(self._dead - self._dropped)),
+            dropped=tuple(sorted(self._dropped)),
+            pending=tuple(sorted(self._pending_joins)),
+        )
+
+    def restart_worker(self, worker_id: int) -> None:
+        """Replace a (self-spawned) worker's process with a fresh
+        daemon; it re-dials and is admitted at the next quiesce."""
+        if self._fleet is None:
+            raise RuntimeError(
+                "no self-spawned fleet: restart externally launched daemons "
+                "from wherever they were started"
+            )
+        self._fleet.restart_worker(worker_id)
+
+    def spawn_worker(self, worker_id: int | None = None) -> int:
+        """Launch one additional (self-spawned) daemon; defaults to the
+        next dense id. Returns the id it will register under."""
+        if self._fleet is None:
+            raise RuntimeError(
+                "no self-spawned fleet: launch externally managed daemons "
+                "from wherever the fleet is run"
+            )
+        wid = len(self.workers) if worker_id is None else int(worker_id)
+        self._fleet.spawn_worker(wid)
+        return wid
 
     # ------------------------------------------------------------------
     @property
@@ -377,6 +515,9 @@ class TcpCluster(WallClockBackend):
         if now_m - self._last_hb >= self.heartbeat_interval:
             self._send_heartbeats(now_m)
         for key, _ in self._sel.select(self._pump_timeout(now_m)):
+            if key.data is None:  # the listener: a late joiner dialing in
+                self._accept_pending()
+                continue
             wid = key.data
             if wid in self._dead:
                 continue
@@ -442,6 +583,8 @@ class TcpCluster(WallClockBackend):
         self._dead.add(wid)
         self._hb_pending[wid] = None
         self._close_conn(wid)
+        if wid not in self._dropped:
+            self._note_membership("dead", wid)
         for handle in list(self._handles.values()):
             handle._worker_died(wid)
 
@@ -563,6 +706,12 @@ class TcpCluster(WallClockBackend):
                 self._shutdown_worker(wid)
         for wid in list(self._conns):
             self._close_conn(wid)
+        for conn in self._pending_joins.values():
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+        self._pending_joins.clear()
         self._sel.close()
         try:
             self._listener.close()

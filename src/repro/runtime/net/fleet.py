@@ -19,8 +19,13 @@ point a fleet at its ephemeral port, or grab a port with
 ``spawn_workers=False`` — the workers wait for the master to appear.
 
 :class:`LocalFleet` is a context manager; leaving the block terminates
-every worker process. The :class:`~repro.runtime.net.client.TcpCluster`
-spawns (and owns) one internally when ``spawn_workers=True``, so
+every worker process. It is also *elastic*: :meth:`LocalFleet.
+spawn_worker` launches an additional daemon into the live cluster and
+:meth:`LocalFleet.restart_worker` replaces a dead one — the new
+process dials the same master address and is admitted at the next
+between-rounds quiesce point. The
+:class:`~repro.runtime.net.client.TcpCluster` spawns (and owns) one
+internally when ``spawn_workers=True``, so
 ``SessionConfig(backend="tcp")`` needs no launcher at all.
 """
 
@@ -30,19 +35,43 @@ import multiprocessing
 import os
 import subprocess
 import sys
+import threading
+from collections import deque
 from pathlib import Path
 from typing import Sequence
 
 __all__ = ["LocalFleet", "free_port", "spawn_local_workers"]
 
+#: ports handed out recently but possibly not yet bound by their taker.
+#: ``free_port`` binds port 0, reads the assignment and *closes* the
+#: socket — between that close and the caller's own bind the OS may
+#: hand the same port to another ``free_port`` call (test processes
+#: grab several in quick succession). Remembering the last few issued
+#: ports and skipping them closes that reuse race.
+_RECENT_PORTS: deque[int] = deque(maxlen=128)
+_RECENT_LOCK = threading.Lock()
+
 
 def free_port(host: str = "127.0.0.1") -> int:
-    """An OS-assigned free TCP port (for spawn-fleet-first flows)."""
+    """An OS-assigned free TCP port (for spawn-fleet-first flows).
+
+    Guarded against back-to-back reuse: a port issued by a recent call
+    in this process is never handed out again until 128 further ports
+    have been issued — by then its taker has long since bound it (or
+    abandoned it)."""
     import socket
 
-    with socket.socket() as sock:
-        sock.bind((host, 0))
-        return sock.getsockname()[1]
+    for _ in range(32):
+        with socket.socket() as sock:
+            sock.bind((host, 0))
+            port = sock.getsockname()[1]
+        with _RECENT_LOCK:
+            if port not in _RECENT_PORTS:
+                _RECENT_PORTS.append(port)
+                return port
+    # the OS insists on recycling: accept the collision risk rather
+    # than spin forever (practically unreachable)
+    return port  # pragma: no cover
 
 
 def _worker_entry(host: str, port: int, worker_id: int, connect_timeout: float) -> None:
@@ -52,15 +81,97 @@ def _worker_entry(host: str, port: int, worker_id: int, connect_timeout: float) 
 
 
 class LocalFleet:
-    """A group of locally spawned worker processes (context manager)."""
+    """A group of locally spawned worker processes (context manager).
 
-    def __init__(self, procs: dict[int, object], mode: str):
+    ``host``/``port``/``connect_timeout`` record the master address the
+    fleet dials; they are what let :meth:`spawn_worker` and
+    :meth:`restart_worker` launch replacements into a live cluster.
+    """
+
+    def __init__(
+        self,
+        procs: dict[int, object],
+        mode: str,
+        *,
+        host: str | None = None,
+        port: int | None = None,
+        connect_timeout: float = 30.0,
+    ):
         #: worker_id -> process (multiprocessing.Process or Popen)
         self.procs = procs
         self.mode = mode
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
 
     def pids(self) -> dict[int, int]:
         return {wid: int(p.pid) for wid, p in self.procs.items()}
+
+    # ------------------------------------------------------------------
+    # elastic spawning
+    # ------------------------------------------------------------------
+    def spawn_worker(self, worker_id: int) -> None:
+        """Launch one additional daemon dialing the fleet's master.
+
+        The process registers with ``hello`` like any other worker; a
+        running cluster parks it as a pending join until its next
+        ``admit_workers()``. Raises if ``worker_id`` already has a
+        live process (use :meth:`restart_worker` for replacements).
+        """
+        if self.host is None or self.port is None:
+            raise RuntimeError(
+                "this fleet was built without a master address; "
+                "spawn_worker needs the host/port the workers dial"
+            )
+        wid = int(worker_id)
+        proc = self.procs.get(wid)
+        if proc is not None and self._alive(proc):
+            raise ValueError(
+                f"worker {wid} already has a live process (pid {proc.pid}); "
+                "use restart_worker to replace it"
+            )
+        self.procs[wid] = _spawn_one(
+            self.host, self.port, wid, self.mode, self.connect_timeout
+        )
+
+    def restart_worker(self, worker_id: int) -> None:
+        """Replace ``worker_id``'s process with a fresh daemon
+        (terminating the old one first if it is somehow still alive).
+        The restarted daemon re-dials the master — a rejoin is a fresh
+        registration, admitted between rounds."""
+        if self.host is None or self.port is None:
+            raise RuntimeError(
+                "this fleet was built without a master address; "
+                "restart_worker needs the host/port the workers dial"
+            )
+        wid = int(worker_id)
+        proc = self.procs.pop(wid, None)
+        if proc is not None:
+            self._stop_one(proc)
+        self.procs[wid] = _spawn_one(
+            self.host, self.port, wid, self.mode, self.connect_timeout
+        )
+
+    def _alive(self, proc: object) -> bool:
+        if self.mode == "fork":
+            return bool(proc.is_alive())
+        return proc.poll() is None
+
+    def _stop_one(self, proc: object, timeout: float = 2.0) -> None:
+        try:
+            proc.terminate()
+        except (OSError, ValueError):  # pragma: no cover - already gone
+            pass
+        try:
+            if self.mode == "fork":
+                proc.join(timeout)
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.kill()
+                    proc.join(timeout)
+            else:
+                proc.wait(timeout)
+        except (OSError, ValueError, subprocess.TimeoutExpired):
+            pass  # pragma: no cover - reaping is best-effort
 
     def terminate(self, timeout: float = 2.0) -> None:
         """Stop every still-running worker (idempotent)."""
@@ -89,6 +200,45 @@ class LocalFleet:
         return False
 
 
+def _spawn_one(
+    host: str, port: int, worker_id: int, mode: str, connect_timeout: float
+) -> object:
+    """Start one worker daemon process (fork or subprocess mode)."""
+    if mode == "fork":
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = multiprocessing.get_context()
+        proc = ctx.Process(
+            target=_worker_entry,
+            args=(host, port, int(worker_id), connect_timeout),
+            daemon=True,
+        )
+        proc.start()
+        return proc
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.runtime.net.worker",
+            "--host",
+            host,
+            "--port",
+            str(port),
+            "--worker-id",
+            str(int(worker_id)),
+            "--connect-timeout",
+            str(connect_timeout),
+        ],
+        env=env,
+    )
+
+
 def spawn_local_workers(
     host: str,
     port: int,
@@ -100,41 +250,10 @@ def spawn_local_workers(
     """Spawn one worker daemon per id, all dialing ``host:port``."""
     if mode not in ("fork", "subprocess"):
         raise ValueError(f"unknown spawn mode {mode!r} (use 'fork' or 'subprocess')")
-    procs: dict[int, object] = {}
-    if mode == "fork":
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX fallback
-            ctx = multiprocessing.get_context()
-        for wid in worker_ids:
-            proc = ctx.Process(
-                target=_worker_entry,
-                args=(host, port, int(wid), connect_timeout),
-                daemon=True,
-            )
-            proc.start()
-            procs[int(wid)] = proc
-    else:
-        import repro
-
-        src_dir = str(Path(repro.__file__).resolve().parents[1])
-        env = dict(os.environ)
-        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
-        for wid in worker_ids:
-            procs[int(wid)] = subprocess.Popen(
-                [
-                    sys.executable,
-                    "-m",
-                    "repro.runtime.net.worker",
-                    "--host",
-                    host,
-                    "--port",
-                    str(port),
-                    "--worker-id",
-                    str(int(wid)),
-                    "--connect-timeout",
-                    str(connect_timeout),
-                ],
-                env=env,
-            )
-    return LocalFleet(procs, mode)
+    procs: dict[int, object] = {
+        int(wid): _spawn_one(host, port, int(wid), mode, connect_timeout)
+        for wid in worker_ids
+    }
+    return LocalFleet(
+        procs, mode, host=host, port=port, connect_timeout=connect_timeout
+    )

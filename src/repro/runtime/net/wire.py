@@ -71,6 +71,7 @@ __all__ = [
     "WireError",
     "behavior_from_dict",
     "behavior_to_dict",
+    "check_hello",
     "decode_payload",
     "encode_frame",
     "read_frame",
@@ -104,6 +105,35 @@ _CODE_NAMES = {code: name for name, code in MSG_CODES.items()}
 
 class WireError(RuntimeError):
     """A malformed, truncated or incompatible frame."""
+
+
+def check_hello(fields: Mapping[str, Any]) -> int:
+    """Validate a ``hello`` frame's negotiated protocol version and
+    worker id; returns the id.
+
+    The frame preamble's version byte already guards against a peer
+    speaking a different *framing*; the hello's ``protocol`` field is
+    the application-level negotiation on top of it — a daemon built
+    against a different protocol revision frames its hello correctly
+    but must still be turned away, with an error naming both versions,
+    instead of being admitted and failing mid-round.
+    """
+    try:
+        wid = int(fields["worker_id"])
+    except (KeyError, TypeError, ValueError):
+        raise WireError(
+            f"hello carries no usable worker_id: {fields.get('worker_id')!r}"
+        ) from None
+    if wid < 0:
+        raise WireError(f"hello worker_id must be >= 0, got {wid}")
+    peer = fields.get("protocol")
+    if peer != PROTOCOL_VERSION:
+        raise WireError(
+            f"hello protocol version mismatch: worker {wid} speaks "
+            f"{peer!r}, this master speaks {PROTOCOL_VERSION} — "
+            "rejecting the registration"
+        )
+    return wid
 
 
 # ----------------------------------------------------------------------

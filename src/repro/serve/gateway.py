@@ -34,6 +34,7 @@ from typing import Any, Mapping, Protocol, runtime_checkable
 import numpy as np
 
 from repro.api.session import JobHandle, Session
+from repro.control.signals import WindowSignals
 from repro.serve.batcher import MicroBatcher, PendingBatch, make_batch_policy
 from repro.serve.queueing import SHED_EXPIRED, FairQueue
 from repro.serve.workload import Request
@@ -296,10 +297,37 @@ class Gateway:
         session: Session,
         source: TrafficSource,
         config: GatewayConfig | None = None,
+        *,
+        control_interval: float | None = None,
+        controller: Any = None,
     ):
         self.session = session
         self.source = source
         self.config = config or GatewayConfig()
+        if controller is not None and control_interval is None:
+            raise ValueError(
+                "a controller needs control_interval (the window length in "
+                "trace seconds) to receive windows"
+            )
+        if control_interval is not None and control_interval <= 0:
+            raise ValueError(
+                f"control_interval must be > 0, got {control_interval}"
+            )
+        #: window length (trace seconds) for control-plane telemetry;
+        #: None disables windowing entirely (zero-overhead default)
+        self.control_interval = control_interval
+        #: anything exposing on_window(WindowSignals) — typically a
+        #: repro.control.controller.FleetController
+        self.controller = controller
+        #: one WindowSignals per closed control window, in order
+        self.window_history: list[WindowSignals] = []
+        self._fresh_outcomes: list[RequestOutcome] = []
+        self._next_window = (
+            control_interval if control_interval is not None else math.inf
+        )
+        self._window_index = 0
+        self._records_mark = 0
+        self._adapt_mark = 0
         policy = make_batch_policy(
             self.config.batch_policy, **self.config.policy_options
         )
@@ -366,6 +394,7 @@ class Gateway:
         heapq.heapify(heap)
         while True:
             self._harvest(heap)
+            self._control_tick()
             self._ingest(heap)
             self._fill(heap)
             due = self._batcher.take_due(self.now)
@@ -419,6 +448,9 @@ class Gateway:
         heapq.heapify(heap)
         while True:
             self._harvest(heap)
+            # controller actions can block on the network (spawn +
+            # re-code); keep them off the event loop
+            await loop.run_in_executor(None, self._control_tick)
             self._ingest(heap)
             await self._fill_async(heap, loop)
             due = self._batcher.take_due(self.now)
@@ -444,6 +476,81 @@ class Gateway:
                 continue
             break
         return self._build_report()
+
+    # ------------------------------------------------------------------
+    # control plane (inert unless control_interval is set)
+    # ------------------------------------------------------------------
+    def _control_tick(self) -> None:
+        """Close every control window the clock has passed: build its
+        :class:`~repro.control.signals.WindowSignals` and hand it to
+        the controller (if any). Called between dispatches, so any
+        controller-triggered membership change goes through a drained
+        session quiesce point."""
+        while self.now >= self._next_window:
+            signals = self._build_window(self._next_window)
+            self.window_history.append(signals)
+            self._next_window += self.control_interval
+            if self.controller is not None:
+                self.controller.on_window(signals)
+
+    def _build_window(self, t_end: float) -> WindowSignals:
+        fresh = self._fresh_outcomes
+        self._fresh_outcomes = []
+        served = [o for o in fresh if o.status == SERVED]
+        with_slo = [o for o in fresh if math.isfinite(o.deadline)]
+        slo = (
+            sum(1 for o in with_slo if o.slo_met) / len(with_slo)
+            if with_slo
+            else 1.0
+        )
+        lats = [o.latency for o in served if o.latency is not None]
+        p99 = float(np.percentile(lats, 99.0)) if lats else math.nan
+        slacks = [
+            o.deadline - o.completed
+            for o in served
+            if math.isfinite(o.deadline) and o.completed is not None
+        ]
+        stats = self.session.stats
+        byz = {
+            w
+            for r in stats.records[self._records_mark :]
+            for w in r.rejected_workers
+        }
+        self._records_mark = len(stats.records)
+        strag = {
+            w
+            for a in stats.adaptations[self._adapt_mark :]
+            for w in a.observed_stragglers
+        }
+        self._adapt_mark = len(stats.adaptations)
+        view = self.session.backend.membership()
+        # only dead workers still in the coding roster are actionable
+        # drift — once the master evicts them a re-code is a no-op, and
+        # counting them forever would make the policy re-fire every
+        # window until the daemons are restarted.
+        dead = set(view.dead)
+        roster = getattr(self.session.master, "active", None)
+        if roster is not None:
+            dead &= set(roster)
+        signals = WindowSignals(
+            window_index=self._window_index,
+            t_start=t_end - self.control_interval,
+            t_end=t_end,
+            completed=len(fresh),
+            served=len(served),
+            shed=len(fresh) - len(served),
+            queue_depth=len(self._queue),
+            slo_attainment=slo,
+            p99_latency=p99,
+            deadline_slack=min(slacks) if slacks else math.nan,
+            live_workers=len(view.live),
+            pending_workers=len(view.pending),
+            dead_workers=len(dead),
+            observed_stragglers=len(strag),
+            detected_byzantine=len(byz),
+        )
+        self._window_index += 1
+        return signals
 
     def _build_report(self) -> ServeReport:
         outcomes = tuple(
@@ -546,7 +653,7 @@ class Gateway:
             completed = outcome.record.t_end - self._t0  # trace time
             self.results[req.request_id] = outcome.vector
             slo = completed <= req.deadline if math.isfinite(req.deadline) else None
-            self._outcomes[req.request_id] = RequestOutcome(
+            done = RequestOutcome(
                 request_id=req.request_id,
                 tenant=req.tenant,
                 family=req.family,
@@ -558,6 +665,8 @@ class Gateway:
                 latency=completed - req.arrival,
                 slo_met=slo,
             )
+            self._outcomes[req.request_id] = done
+            self._fresh_outcomes.append(done)
             follow_up = self.source.on_complete(req, completed)
             if follow_up is not None:
                 heapq.heappush(
@@ -573,7 +682,7 @@ class Gateway:
     def _finish_shed(
         self, req: Request, status: str, heap: list[tuple[float, int, Request]]
     ) -> None:
-        self._outcomes[req.request_id] = RequestOutcome(
+        done = RequestOutcome(
             request_id=req.request_id,
             tenant=req.tenant,
             family=req.family,
@@ -582,6 +691,8 @@ class Gateway:
             status=status,
             slo_met=False if math.isfinite(req.deadline) else None,
         )
+        self._outcomes[req.request_id] = done
+        self._fresh_outcomes.append(done)
         # a shed is a terminal outcome too: a closed-loop client whose
         # request was dropped still issues its next one
         follow_up = self.source.on_complete(req, self.now)
