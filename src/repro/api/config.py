@@ -138,6 +138,16 @@ class SessionConfig:
         re-coding over the new roster. ``False`` freezes the roster at
         session start (pre-0.7 behaviour). Only the socket backends
         produce membership changes; elsewhere this is inert.
+    observability:
+        When ``True`` the session carries an
+        :class:`~repro.obs.Observability` bundle: every submitted job
+        gets a span-traced request-to-round timeline (worker daemons
+        ship their own sub-spans back over the wire on the socket
+        backends), and a unified metrics registry feeds the live
+        telemetry endpoint (``Gateway.run_async(telemetry_port=...)``)
+        and the ``repro obs`` CLI. ``False`` (default) instantiates
+        none of it — reports, summaries and wire frames are
+        byte-identical to an untraced build.
     cost:
         Overrides for :class:`~repro.runtime.costmodel.CostModel`
         fields (e.g. ``{"worker_sec_per_mac": 300e-9}``).
@@ -171,6 +181,7 @@ class SessionConfig:
     batch_window: int = 32
     max_inflight_rounds: int = 1
     elastic_membership: bool = True
+    observability: bool = False
     cost: dict[str, Any] = dc_field(default_factory=dict)
     net: NetTunables = dc_field(default_factory=NetTunables)
     backend_options: dict[str, Any] = dc_field(default_factory=dict)

@@ -52,6 +52,7 @@ from repro.api.config import SessionConfig
 from repro.api.registry import resolve_backend, resolve_master
 from repro.api.scheduler import InflightRound, RoundScheduler, SessionClosedError
 from repro.core.results import AdaptationOutcome, RoundOutcome
+from repro.obs import Observability
 from repro.runtime.backend import Backend, MembershipEvent
 from repro.runtime.trace import RoundRecord
 
@@ -111,6 +112,10 @@ class JobHandle:
     pending) and returns the decoded array; ``record`` then exposes the
     round's timing/accounting (shared by every job the round served).
     """
+
+    #: set by the session when observability is on:
+    #: (trace_id, session span, root span if the session opened it)
+    _trace: tuple[str, Any, Any] | None = None
 
     def __init__(self, session: "Session", kind: str, family: str) -> None:
         self._session = session
@@ -175,6 +180,10 @@ class SessionStats:
     #: boundaries and on close — heartbeat-declared deaths show up
     #: here explicitly, not just as never-arrived stragglers
     membership_events: list[MembershipEvent] = dc_field(default_factory=list)
+    #: the backend's live wire-level tallies (socket backends with
+    #: observability on; ``None`` otherwise — keeps :meth:`summary`
+    #: byte-identical to an untraced build when the knob is off)
+    wire: Any = None
 
     @property
     def batched_jobs(self) -> int:
@@ -301,6 +310,13 @@ class SessionStats:
                 f"{len(self.rejoined_workers)} rejoined, "
                 f"{len(self.joined_workers)} joined"
             )
+        if self.wire is not None:
+            w = self.wire
+            text += (
+                f"; wire: {w.frames_out} frames/{w.bytes_out}B out, "
+                f"{w.frames_in} frames/{w.bytes_in}B in, "
+                f"{w.crc_rejects} crc rejects"
+            )
         return text
 
 
@@ -342,6 +358,39 @@ class Session:
         self._owns_backend = owns_backend
         self._pending: dict[str, list[tuple[JobHandle, np.ndarray]]] = {}
         self._stats = SessionStats()
+        self.obs: Observability | None = (
+            Observability() if config is not None and config.observability else None
+        )
+        if self.obs is not None:
+            # the backend consults this to trace dispatches (and, on the
+            # socket backends, to ask worker daemons for their sub-spans)
+            self.backend.obs = self.obs
+            reg = self.obs.registry
+            self._obs_rounds = reg.counter(
+                "session_rounds_total", "rounds finalized, by family"
+            )
+            self._obs_jobs = reg.counter(
+                "session_jobs_served_total", "jobs resolved by finalized rounds"
+            )
+            self._obs_round_hist = reg.histogram(
+                "session_round_duration_seconds", "finalized round duration"
+            )
+            self._obs_verify = reg.histogram(
+                "session_verify_seconds", "per-round master verification time"
+            )
+            self._obs_decode = reg.histogram(
+                "session_decode_seconds", "per-round master decode time"
+            )
+            #: (kind, family) -> shared (root_attrs, child_attrs) for
+            #: submit spans (the tracer copies on drain)
+            self._trace_attrs: dict[tuple[str, str], tuple[dict, dict]] = {}
+            wire = getattr(self.backend, "wire", None)
+            if wire is not None:
+                self._stats.wire = wire
+                backend_name = config.backend if config else "unknown"
+                reg.register_collector(
+                    lambda r, w=wire, b=backend_name: w.collect_into(r, b)
+                )
         self._scheduler = RoundScheduler(
             self.max_inflight_rounds,
             on_dispatched=self._stats.dispatch_depths.append,
@@ -414,10 +463,14 @@ class Session:
         family = request.family
         if family == "matvec":
             fam = "bwd" if bool(getattr(request, "transpose", False)) else "fwd"
-            return self._enqueue("matvec", fam, self.field.asarray(request.operand))
+            return self._enqueue(
+                "matvec", fam, self.field.asarray(request.operand), request
+            )
         if family == "gramian":
             self._ensure_gramian_master()
-            return self._enqueue("gramian", "gram", self.field.asarray(request.operand))
+            return self._enqueue(
+                "gramian", "gram", self.field.asarray(request.operand), request
+            )
         if family == "matmul":
             from repro.core.matmul import CodedMatmulAVCCMaster
 
@@ -436,6 +489,8 @@ class Session:
             master.setup(request.operand, request.operand_b)
             handle = JobHandle(self, "matmul", "matmul")
             self._stats.jobs_submitted += 1
+            if self.obs is not None:
+                self._trace_submit(handle, request)
             self._scheduler.submit(master, "matmul", [handle], [])
             return handle
         raise ValueError(
@@ -468,13 +523,46 @@ class Session:
             JobRequest(family="matmul", operand=a, operand_b=b, p=p, q=q)
         )
 
-    def _enqueue(self, kind: str, family: str, operand: np.ndarray) -> JobHandle:
+    def _enqueue(
+        self, kind: str, family: str, operand: np.ndarray, request: Any = None
+    ) -> JobHandle:
         handle = JobHandle(self, kind, family)
-        self._pending.setdefault(family, []).append((handle, operand))
         self._stats.jobs_submitted += 1
+        if self.obs is not None:
+            # before the append: a window-filling enqueue flushes (and
+            # may finalize) immediately, and the round graft needs the
+            # handle's trace context to exist by then
+            self._trace_submit(handle, request)
+        self._pending.setdefault(family, []).append((handle, operand))
         if len(self._pending[family]) >= self.batch_window:
             self.flush(family)
         return handle
+
+    def _trace_submit(self, handle: JobHandle, request: Any) -> None:
+        """Open (or join) the request's trace: gateway-admitted
+        requests carry a ``request_id`` and join their ``req-<id>``
+        trace; bare submissions get a fresh ``job-<n>`` root."""
+        assert self.obs is not None
+        rid = getattr(request, "request_id", None)
+        trace_id = (
+            f"req-{rid}" if rid is not None else f"job-{self._stats.jobs_submitted}"
+        )
+        akey = (handle.kind, handle.family)
+        attrs = self._trace_attrs.get(akey)
+        if attrs is None:
+            attrs = self._trace_attrs[akey] = (
+                {"family": handle.family},
+                {"kind": handle.kind, "family": handle.family},
+            )
+        owned_root, span = self.obs.tracer.begin_request(
+            trace_id,
+            "request",
+            "session",
+            self.backend.now,
+            child_attrs=attrs[1],
+            root_attrs=attrs[0],
+        )
+        handle._trace = (trace_id, span, owned_root)
 
     # ------------------------------------------------------------------
     # batching + pipelining
@@ -533,6 +621,34 @@ class Session:
         self, rec: InflightRound, outcomes: list[RoundOutcome]
     ) -> None:
         self._note_round(rec.jobs, outcomes[0].record)
+        if self.obs is not None:
+            self._trace_round(rec, outcomes[0].record)
+
+    def _trace_round(self, rec: InflightRound, record: RoundRecord) -> None:
+        """Record the round's span tree once (in its own ``round-<n>``
+        trace, worker-daemon sub-spans anchored inside it) and close
+        every rider's spans with a link to it in one batched event."""
+        assert self.obs is not None
+        tracer = self.obs.tracer
+        round_tid = self.obs.next_round_trace_id()
+        worker_spans = getattr(rec.handle, "worker_spans", None)
+        tracer.record_round(
+            round_tid, record, dict(worker_spans) if worker_spans else None
+        )
+        contexts = [c for c in (h._trace for h in rec.jobs) if c is not None]
+        if contexts:
+            tracer.link_rounds(
+                contexts,
+                record.t_start,
+                record.t_end,
+                round_tid,
+                record.round_name,
+            )
+        self._obs_rounds.inc(family=record.round_name)
+        self._obs_jobs.inc(float(len(rec.jobs)))
+        self._obs_round_hist.observe(record.duration, family=record.round_name)
+        self._obs_verify.observe(record.verify_time)
+        self._obs_decode.observe(record.decode_time)
 
     def _note_round(self, handles: list[JobHandle], record: RoundRecord) -> None:
         self._stats.rounds_executed += 1

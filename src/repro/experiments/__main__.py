@@ -4,6 +4,8 @@ Usage::
 
     python -m repro.experiments            # everything, default scale
     python -m repro.experiments --fast     # 15-iteration smoke pass
+    repro obs SNAPSHOT.json                # inspect a telemetry dump
+    repro obs --endpoint URL               # poll a live gateway
 """
 
 import sys
@@ -21,6 +23,10 @@ from repro.experiments.fig4 import FIG4_SETTINGS
 
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "obs":
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(argv[1:])
     iterations = 15 if "--fast" in argv else 50
     cfg = ExperimentConfig(iterations=iterations)
     t0 = time.perf_counter()

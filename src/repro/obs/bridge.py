@@ -1,0 +1,205 @@
+"""Round records ⇄ spans.
+
+Forward direction (``round_forest``): after a round finalizes, its
+:class:`~repro.runtime.trace.RoundRecord` — plus any worker-daemon
+sub-spans that came back in result frames — is lowered into a closed
+span forest (round → broadcast / collect / worker:<id> / verify /
+decode) that the session records once per round.
+
+Reverse direction (``recorder_from_tracer`` / ``mean_breakdown``): the
+same spans carry the full cost attributes, so the Fig. 4/5 pipeline's
+per-iteration compute/communication/verification/decoding breakdown can
+be reconstructed from a tracer alone — the experiments' recorder and
+the live telemetry are views over one set of numbers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.runtime.trace import RoundRecord, TraceRecorder
+
+from .trace import Span, Tracer
+
+__all__ = [
+    "mean_breakdown",
+    "recorder_from_tracer",
+    "round_forest",
+    "round_spans",
+]
+
+#: trace-id prefix for the per-round span trees request traces link to
+ROUND_TRACE_PREFIX = "round-"
+
+
+def round_forest(
+    record: RoundRecord,
+    worker_spans: Mapping[int, Sequence[Sequence[Any]]] | None = None,
+) -> list[dict[str, Any]]:
+    """Lower one finalized round into a local-parent span forest
+    (consumed by :meth:`repro.obs.trace.Tracer.record_forest`).
+
+    ``worker_spans`` maps worker id → ``[[name, t0, t1], ...]`` with
+    times relative to the daemon's frame-receipt instant; they are
+    anchored so the last sub-span ends at the master-observed arrival,
+    putting master-side wait and worker-side truth on one timeline.
+    """
+    t0, t3 = record.t_start, record.t_end
+
+    def clamp(a: float, b: float) -> tuple[float, float]:
+        a = min(max(a, t0), t3)
+        return a, min(max(b, a), t3)
+
+    forest: list[dict[str, Any]] = [
+        {
+            "name": "round",
+            "t_start": t0,
+            "t_end": t3,
+            "parent": None,
+            "attrs": {
+                "round_name": record.round_name,
+                "iteration": record.iteration,
+                "compute_wait": record.compute_wait,
+                "comm_time": record.comm_time,
+                "verify_time": record.verify_time,
+                "decode_time": record.decode_time,
+                "n_collected": record.n_collected,
+                "n_verified": record.n_verified,
+                "n_rejected": record.n_rejected,
+            },
+        }
+    ]
+    b0, b_end = clamp(t0, t0 + record.comm_time)
+    forest.append(
+        {"name": "round.broadcast", "t_start": b0, "t_end": b_end, "parent": 0}
+    )
+    c0, c_end = clamp(b_end, b_end + record.compute_wait)
+    collect_idx = len(forest)
+    forest.append(
+        {"name": "round.collect", "t_start": c0, "t_end": c_end, "parent": 0}
+    )
+    used = set(record.used_workers)
+    for wid, latency in record.worker_latencies:
+        # capped at the collect window: a straggler arriving after the
+        # master stopped waiting still nests gap-free (the raw latency
+        # survives in the attrs)
+        w0 = min(max(b_end, t0), c_end)
+        w_end = min(max(b_end + latency, w0), c_end)
+        worker_idx = len(forest)
+        forest.append(
+            {
+                "name": f"worker:{wid}",
+                "t_start": w0,
+                "t_end": w_end,
+                "parent": collect_idx,
+                "attrs": {
+                    "worker_id": wid,
+                    "used": wid in used,
+                    "latency": latency,
+                },
+            }
+        )
+        subs = (worker_spans or {}).get(wid) or ()
+        if subs:
+            # anchor daemon-relative offsets so the last sub-span ends
+            # at the master-observed arrival time
+            anchor = w_end - float(subs[-1][2])
+            for name, r0, r1 in subs:
+                s0 = max(w0, anchor + float(r0))
+                s1 = min(w_end, max(anchor + float(r1), s0))
+                forest.append(
+                    {
+                        "name": str(name),
+                        "t_start": s0,
+                        "t_end": s1,
+                        "parent": worker_idx,
+                    }
+                )
+    v0, v_end = clamp(c_end, c_end + record.verify_time)
+    forest.append({"name": "round.verify", "t_start": v0, "t_end": v_end, "parent": 0})
+    d0, d_end = clamp(v_end, v_end + record.decode_time)
+    forest.append({"name": "round.decode", "t_start": d0, "t_end": d_end, "parent": 0})
+    return forest
+
+
+def round_spans(tracer: Tracer) -> list[Span]:
+    """Every recorded top-level round span, in recording order."""
+    out: list[Span] = []
+    for tid in tracer.trace_ids():
+        if not tid.startswith(ROUND_TRACE_PREFIX):
+            continue
+        for span in tracer.spans(tid):
+            if span.name == "round" and span.parent_id is None:
+                out.append(span)
+    return out
+
+
+def _record_from_span(span: Span) -> RoundRecord:
+    a = span.attrs
+    return RoundRecord(
+        iteration=int(a.get("iteration", 0)),
+        round_name=str(a.get("round_name", "round")),
+        t_start=span.t_start,
+        t_end=span.t_end if span.t_end is not None else span.t_start,
+        compute_wait=float(a.get("compute_wait", 0.0)),
+        comm_time=float(a.get("comm_time", 0.0)),
+        verify_time=float(a.get("verify_time", 0.0)),
+        decode_time=float(a.get("decode_time", 0.0)),
+        n_collected=int(a.get("n_collected", 0)),
+        n_verified=int(a.get("n_verified", 0)),
+        n_rejected=int(a.get("n_rejected", 0)),
+    )
+
+
+def recorder_from_tracer(tracer: Tracer) -> TraceRecorder:
+    """Rebuild a Fig. 4/5-compatible :class:`TraceRecorder` from the
+    round spans a traced run left behind: per-iteration groups of
+    reconstructed :class:`RoundRecord` with the cost fields intact."""
+    by_iteration: dict[int, list[RoundRecord]] = defaultdict(list)
+    for span in round_spans(tracer):
+        rec = _record_from_span(span)
+        by_iteration[rec.iteration].append(rec)
+    recorder = TraceRecorder()
+    for iteration in sorted(by_iteration):
+        rounds = sorted(by_iteration[iteration], key=lambda r: r.t_start)
+        recorder.add(TraceRecorder.merge_rounds(iteration, rounds))
+    return recorder
+
+
+def mean_breakdown(tracer: Tracer) -> dict[str, float]:
+    """Fig. 4's mean per-iteration cost breakdown, from spans alone."""
+    return recorder_from_tracer(tracer).mean_breakdown()
+
+
+def render_timeline(
+    spans: Iterable[Mapping[str, Any]], width: int = 64
+) -> str:
+    """ASCII timeline of one resolved trace (``repro obs`` CLI)."""
+    spans = [dict(s) for s in spans]
+    closed = [s for s in spans if s.get("t_end") is not None]
+    if not closed:
+        return "(no closed spans)"
+    t_lo = min(s["t_start"] for s in closed)
+    t_hi = max(s["t_end"] for s in closed)
+    scale = (t_hi - t_lo) or 1.0
+    by_id = {s["span_id"]: s for s in spans}
+
+    def depth(s: Mapping[str, Any]) -> int:
+        d, cur = 0, s
+        while cur.get("parent_id") is not None and cur["parent_id"] in by_id:
+            cur = by_id[cur["parent_id"]]
+            d += 1
+            if d > 32:
+                break
+        return d
+
+    label_w = max(len("  " * depth(s) + s["name"]) for s in closed) + 2
+    lines = [f"trace spans {t_lo:.6f}s .. {t_hi:.6f}s ({scale:.6f}s)"]
+    for s in closed:
+        lo = int((s["t_start"] - t_lo) / scale * width)
+        hi = max(lo + 1, int((s["t_end"] - t_lo) / scale * width))
+        bar = " " * lo + "#" * (hi - lo)
+        label = ("  " * depth(s) + s["name"]).ljust(label_w)
+        lines.append(f"{label}|{bar.ljust(width)}| {s['t_end'] - s['t_start']:.6f}s")
+    return "\n".join(lines)

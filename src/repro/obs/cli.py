@@ -1,0 +1,117 @@
+"""``repro obs`` — inspect a run's telemetry.
+
+Two sources, one renderer:
+
+* **Dump mode** — ``repro obs dump.json``: read an
+  :meth:`Observability.snapshot` JSON file (written by
+  ``examples/observability_demo.py`` or ``Observability.dump_path``)
+  and render per-request / per-round span timelines plus a metrics
+  digest.
+* **Endpoint mode** — ``repro obs --endpoint http://host:port``: poll a
+  live :class:`~repro.obs.exporter.TelemetryServer`; with ``--follow N``
+  it tails the run, re-rendering the newest round timeline N times.
+
+``--trace <id>`` narrows either mode to one trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+import urllib.request
+from typing import Any
+
+from .bridge import render_timeline
+from .trace import Tracer
+
+__all__ = ["main"]
+
+
+def _fetch(url: str) -> Any:
+    with urllib.request.urlopen(url, timeout=10.0) as resp:
+        return json.loads(resp.read().decode())
+
+
+def _metrics_digest(metrics: dict[str, Any], limit: int = 12) -> str:
+    lines = []
+    for name in sorted(metrics)[:limit]:
+        entry = metrics[name]
+        for series in entry.get("series", [])[:4]:
+            labels = series.get("labels", {})
+            tag = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            if "value" in series:
+                val = f"{series['value']:g}"
+            else:
+                val = f"count={series.get('count', 0)} sum={series.get('sum', 0.0):g}"
+            lines.append(f"  {name}{{{tag}}} {val}")
+    return "\n".join(lines) if lines else "  (no metrics)"
+
+
+def _render_traces(
+    tracer: Tracer, trace_id: str | None, width: int, limit: int
+) -> str:
+    ids: list[str]
+    if trace_id is not None:
+        if not tracer.has(trace_id):
+            return f"unknown trace {trace_id!r}; live: {list(tracer.trace_ids())[:8]}"
+        ids = [trace_id]
+    else:
+        ids = [t for t in tracer.trace_ids() if not t.startswith("round-")][-limit:]
+        if not ids:
+            ids = list(tracer.trace_ids())[-limit:]
+    blocks = []
+    for tid in ids:
+        spans = [s.to_dict() for s in tracer.resolved(tid)]
+        blocks.append(f"== {tid} ==\n{render_timeline(spans, width=width)}")
+    return "\n\n".join(blocks) if blocks else "(no traces)"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro obs", description="render telemetry dumps or poll a live endpoint"
+    )
+    parser.add_argument("dump", nargs="?", help="path to an Observability snapshot JSON")
+    parser.add_argument("--endpoint", help="base URL of a live telemetry server")
+    parser.add_argument("--trace", help="render only this trace id")
+    parser.add_argument("--width", type=int, default=64, help="timeline width (chars)")
+    parser.add_argument("--limit", type=int, default=4, help="max traces to render")
+    parser.add_argument(
+        "--follow", type=int, default=0, metavar="N",
+        help="endpoint mode: poll and re-render N more times, 1s apart",
+    )
+    args = parser.parse_args(argv)
+
+    if (args.dump is None) == (args.endpoint is None):
+        parser.error("pass exactly one of: a dump file, or --endpoint URL")
+
+    if args.dump is not None:
+        with open(args.dump) as fp:
+            snap = json.load(fp)
+        tracer = Tracer.from_dump(snap.get("traces", {}))
+        print("metrics:")
+        print(_metrics_digest(snap.get("metrics", {})))
+        print()
+        print(_render_traces(tracer, args.trace, args.width, args.limit))
+        return 0
+
+    base = args.endpoint.rstrip("/")
+    for tick in range(args.follow + 1):
+        if tick:
+            time.sleep(1.0)
+        health = _fetch(f"{base}/healthz")
+        print(f"[{tick}] {base} status={health.get('status')}")
+        print(_metrics_digest(_fetch(f"{base}/metrics.json")))
+        if args.trace is not None:
+            ids = [args.trace]
+        else:
+            ids = _fetch(f"{base}/traces").get("traces", [])[-args.limit:]
+        for tid in ids:
+            trace = _fetch(f"{base}/trace/{tid}")
+            print(f"\n== {tid} ==")
+            print(render_timeline(trace.get("spans", []), width=args.width))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

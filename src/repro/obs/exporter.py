@@ -1,0 +1,113 @@
+"""Tiny asyncio HTTP telemetry endpoint.
+
+Serves a session's :class:`~repro.obs.Observability` live:
+
+* ``GET /healthz`` — liveness probe, ``{"status": "ok"}``;
+* ``GET /metrics`` — Prometheus text exposition (v0.0.4);
+* ``GET /metrics.json`` — the registry's JSON snapshot;
+* ``GET /traces`` — ids of every live trace;
+* ``GET /trace/<id>`` — one resolved span tree (round links spliced).
+
+Implemented directly on ``asyncio.start_server`` — no HTTP framework,
+no new dependency; enough of HTTP/1.0 for ``curl``, Prometheus scrapes
+and ``urllib``. Attach to a serving loop with
+``Gateway.run_async(telemetry_port=0)`` or run standalone via
+:meth:`TelemetryServer.start`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from . import Observability
+
+__all__ = ["TelemetryServer"]
+
+_MAX_REQUEST = 16384
+_PROM_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+_JSON_TYPE = "application/json; charset=utf-8"
+
+
+class TelemetryServer:
+    """One asyncio HTTP listener over one Observability bundle."""
+
+    def __init__(
+        self, obs: "Observability", host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.obs = obs
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> "TelemetryServer":
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- request handling ----------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=5.0
+            )
+        except (asyncio.IncompleteReadError, asyncio.TimeoutError, ValueError):
+            writer.close()
+            return
+        try:
+            line = request.split(b"\r\n", 1)[0].decode("latin-1")
+            parts = line.split()
+            method, path = (parts + ["", ""])[:2]
+            status, ctype, body = self._route(method, path)
+            head = (
+                f"HTTP/1.1 {status}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+        finally:
+            writer.close()
+
+    def _route(self, method: str, path: str) -> tuple[str, str, bytes]:
+        if method not in ("GET", "HEAD"):
+            return self._json("405 Method Not Allowed", {"error": "GET only"})
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            return self._json("200 OK", {"status": "ok"})
+        if path == "/metrics":
+            text = self.obs.registry.render_prometheus()
+            return "200 OK", _PROM_TYPE, text.encode()
+        if path == "/metrics.json":
+            return self._json("200 OK", self.obs.registry.snapshot())
+        if path == "/traces":
+            return self._json("200 OK", {"traces": list(self.obs.tracer.trace_ids())})
+        if path.startswith("/trace/"):
+            trace_id = path[len("/trace/"):]
+            if not self.obs.tracer.has(trace_id):
+                return self._json(
+                    "404 Not Found", {"error": f"unknown trace {trace_id!r}"}
+                )
+            return self._json("200 OK", self.obs.tracer.to_dict(trace_id))
+        return self._json("404 Not Found", {"error": f"no route {path!r}"})
+
+    @staticmethod
+    def _json(status: str, payload: Any) -> tuple[str, str, bytes]:
+        return status, _JSON_TYPE, json.dumps(payload).encode()

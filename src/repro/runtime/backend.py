@@ -277,6 +277,13 @@ class Backend(ABC):
     field: PrimeField
     cost_model: CostModel
 
+    #: the session's :class:`~repro.obs.Observability` bundle when
+    #: ``SessionConfig.observability`` is on, ``None`` otherwise.
+    #: Backends call ``obs.on_dispatch(...)`` per round; the socket
+    #: clusters additionally flag traced round frames so worker
+    #: daemons ship their sub-spans back.
+    obs: Any = None
+
     #: whether arrival timestamps are exact (virtual clock) or wall
     #: clock. Masters use the paper's latency-ratio straggler detector
     #: only on exact-timing backends; on wall-clock backends OS

@@ -201,6 +201,10 @@ class SimCluster(Backend):
         so no contention arises and timing is identical to the
         pre-pipelining simulator.
         """
+        if self.obs is not None:
+            self.obs.on_dispatch(
+                "sim", job, len(self._participants(participants))
+            )
         busy = self._worker_busy_until()
         rr = self.run_round(
             compute=lambda p, _j=job: run_job_compute(self.field, p, _j),

@@ -75,6 +75,7 @@ from repro.runtime.costmodel import CostModel
 from repro.runtime.net.fleet import LocalFleet, spawn_local_workers
 from repro.runtime.net.tunables import NetTunables
 from repro.runtime.net.wire import (
+    WireCounters,
     WireError,
     behavior_to_dict,
     check_hello,
@@ -126,12 +127,15 @@ class AsyncTcpRoundHandle(RoundHandle):
         self._cluster = cluster
         self._rid = rid
         self._participants = participants
-        #: (wid, value|None, compute_time, err|None) events from the loop
+        #: (wid, value|None, compute_time, err|None, spans|None) events
+        #: from the loop
         self._events: queue.SimpleQueue = queue.SimpleQueue()
         self._received: dict[int, Arrival] = {}
         self._inbox: list[Arrival] = []
         #: worker_id -> error reported by its computation (repr string)
         self.worker_errors: dict[int, str] = {}
+        #: worker_id -> daemon-side sub-spans (traced rounds only)
+        self.worker_spans: dict[int, list] = {}
         self._outstanding: set[int] = set(participants)
         self._cancelled = False
         self.t_start = cluster.now
@@ -153,12 +157,14 @@ class AsyncTcpRoundHandle(RoundHandle):
                     self._outstanding.discard(wid)
                     self._received[wid] = self._missing(wid)
             return False
-        wid, value, compute_time, err = ev
+        wid, value, compute_time, err, spans = ev
         if wid not in self._outstanding:
             return True
         self._outstanding.discard(wid)
         if err is not None:
             self.worker_errors[wid] = err
+        if spans:
+            self.worker_spans[wid] = spans
         if value is None:
             self._received[wid] = self._missing(wid)
             return True
@@ -289,6 +295,10 @@ class AsyncTcpCluster(WallClockBackend):
         self._hb_seq = 0
         #: wid -> loop-clock time of the oldest unanswered heartbeat
         self._hb_pending: dict[int, float | None] = {}
+        #: wid -> (seq, monotonic send time) of the last heartbeat,
+        #: matched against acks for the per-worker RTT gauge
+        self._hb_sent: dict[int, tuple[int, float]] = {}
+        self.wire = WireCounters()
         #: wid -> handshaken (reader, writer) parked until admit_workers()
         self._pending_joins: dict[
             int, tuple[asyncio.StreamReader, asyncio.StreamWriter]
@@ -384,7 +394,7 @@ class AsyncTcpCluster(WallClockBackend):
     ) -> None:
         try:
             kind, fields, _ = await asyncio.wait_for(
-                read_frame_async(reader), self.io_timeout
+                read_frame_async(reader, self.wire), self.io_timeout
             )
             if kind != "hello":
                 raise WireError(f"expected hello, got {kind!r}")
@@ -392,8 +402,10 @@ class AsyncTcpCluster(WallClockBackend):
             late = self._registered.is_set()
             if not late and (wid not in self._expected() or wid in self._writers):
                 raise WireError(f"unexpected or duplicate worker id {wid}")
-            writer.write(b"".join(encode_frame("config", self._worker_config(wid))))
+            config = b"".join(encode_frame("config", self._worker_config(wid)))
+            writer.write(config)
             await asyncio.wait_for(writer.drain(), self.io_timeout)
+            self.wire.note_out(len(config))
         except (*_CONN_ERRORS, KeyError, ValueError):
             writer.close()
             return
@@ -427,7 +439,7 @@ class AsyncTcpCluster(WallClockBackend):
         frames to their round by id."""
         try:
             while True:
-                kind, fields, arrays = await read_frame_async(reader)
+                kind, fields, arrays = await read_frame_async(reader, self.wire)
                 self._hb_pending[wid] = None
                 if kind == "result":
                     rid = int(fields["rid"])
@@ -441,11 +453,17 @@ class AsyncTcpCluster(WallClockBackend):
                                 value,
                                 float(fields.get("compute_time", 0.0)),
                                 fields.get("err"),
+                                fields.get("spans"),
                             )
                         )
                         if not rnd.outstanding:
                             self._finish_round(rid)
-                # heartbeat_ack needs no more than the _hb_pending reset
+                elif kind == "heartbeat_ack":
+                    sent = self._hb_sent.get(wid)
+                    if sent is not None and fields.get("seq") == sent[0]:
+                        self.wire.hb_rtt[wid] = max(
+                            0.0, time.monotonic() - sent[1]
+                        )
         except _CONN_ERRORS:
             self._mark_dead(wid)
 
@@ -461,7 +479,7 @@ class AsyncTcpCluster(WallClockBackend):
         if rnd is None:
             return
         for wid in list(rnd.outstanding):
-            rnd.events.put((wid, None, 0.0, None))
+            rnd.events.put((wid, None, 0.0, None, None))
         rnd.outstanding.clear()
 
     def _mark_dead(self, wid: int) -> None:
@@ -482,7 +500,7 @@ class AsyncTcpCluster(WallClockBackend):
             rnd = self._rounds[rid]
             if wid in rnd.outstanding:
                 rnd.outstanding.discard(wid)
-                rnd.events.put((wid, None, 0.0, None))
+                rnd.events.put((wid, None, 0.0, None, None))
                 if not rnd.outstanding:
                     self._finish_round(rid)
 
@@ -515,6 +533,8 @@ class AsyncTcpCluster(WallClockBackend):
                 except _CONN_ERRORS:
                     self._mark_dead(wid)
                     continue
+                self.wire.note_out(len(frame))
+                self._hb_sent[wid] = (self._hb_seq, time.monotonic())
                 if self._hb_pending.get(wid) is None:
                     self._hb_pending[wid] = now
             for wid, since in list(self._hb_pending.items()):
@@ -639,9 +659,12 @@ class AsyncTcpCluster(WallClockBackend):
             if writer is None or wid in self._dead:
                 continue  # permanently silent; shares would be lost
             try:
+                nbytes = 0
                 for part in parts:
                     writer.write(bytes(part) if isinstance(part, memoryview) else part)
+                    nbytes += len(part)
                 await asyncio.wait_for(writer.drain(), self.io_timeout)
+                self.wire.note_out(nbytes)
             except _CONN_ERRORS:
                 self._mark_dead(wid)
 
@@ -659,6 +682,11 @@ class AsyncTcpCluster(WallClockBackend):
             "payload_key": job.payload_key,
             "rhs_key": job.rhs_key,
         }
+        if self.obs is not None:
+            # traced rounds ask the daemons for their sub-spans;
+            # untraced round frames stay byte-identical
+            fields["trace"] = True
+            self.obs.on_dispatch("async_tcp", job, len(participants))
         arrays = (job.operand,) if job.operand is not None else ()
         parts = encode_frame("round", fields, arrays)  # serialize once
         handle = AsyncTcpRoundHandle(self, rid, participants)
@@ -677,10 +705,11 @@ class AsyncTcpCluster(WallClockBackend):
         payload = [bytes(p) if isinstance(p, memoryview) else p for p in parts]
         for wid in participants:
             if wid in self._dead or wid not in self._writers:
-                events.put((wid, None, 0.0, None))
+                events.put((wid, None, 0.0, None, None))
             else:
                 rnd.outstanding.add(wid)
         self._rounds[rid] = rnd
+        nbytes = sum(len(p) for p in payload)
         for wid in list(rnd.outstanding):
             writer = self._writers.get(wid)
             if writer is None:
@@ -689,6 +718,7 @@ class AsyncTcpCluster(WallClockBackend):
                 for part in payload:
                     writer.write(part)
                 await asyncio.wait_for(writer.drain(), self.io_timeout)
+                self.wire.note_out(nbytes)
             except _CONN_ERRORS:
                 self._mark_dead(wid)
         if not rnd.outstanding:
@@ -719,6 +749,7 @@ class AsyncTcpCluster(WallClockBackend):
             try:
                 writer.write(frame)
                 await asyncio.wait_for(writer.drain(), self.io_timeout)
+                self.wire.note_out(len(frame))
             except _CONN_ERRORS:
                 self._mark_dead(wid)
 
@@ -755,7 +786,7 @@ class AsyncTcpCluster(WallClockBackend):
                 rnd = self._rounds[rid]
                 if wid in rnd.outstanding:
                     rnd.outstanding.discard(wid)
-                    rnd.events.put((wid, None, 0.0, None))
+                    rnd.events.put((wid, None, 0.0, None, None))
                     if not rnd.outstanding:
                         self._finish_round(rid)
 
@@ -809,7 +840,7 @@ class AsyncTcpCluster(WallClockBackend):
             if rnd.timer is not None:
                 rnd.timer.cancel()
             for wid in list(rnd.outstanding):
-                rnd.events.put((wid, None, 0.0, None))
+                rnd.events.put((wid, None, 0.0, None, None))
             rnd.outstanding.clear()
         frame = b"".join(encode_frame("shutdown", {}))
         for wid in list(self._writers):

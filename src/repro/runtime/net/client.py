@@ -87,6 +87,7 @@ from repro.runtime.costmodel import CostModel
 from repro.runtime.net.fleet import LocalFleet, spawn_local_workers
 from repro.runtime.net.tunables import NetTunables
 from repro.runtime.net.wire import (
+    WireCounters,
     WireError,
     behavior_to_dict,
     check_hello,
@@ -123,6 +124,9 @@ class TcpRoundHandle(RoundHandle):
         self._inbox: list[Arrival] = []
         #: worker_id -> error reported by its computation (repr string)
         self.worker_errors: dict[int, str] = {}
+        #: worker_id -> daemon-side sub-spans ([[name, t0, t1], ...],
+        #: times relative to frame receipt) from traced result frames
+        self.worker_spans: dict[int, list] = {}
         self._cancelled = False
         self.t_start = cluster.now
         self.broadcast_time = cluster._last_broadcast_time
@@ -137,12 +141,14 @@ class TcpRoundHandle(RoundHandle):
     # ------------------------------------------------------------------
     # delivery callbacks (invoked by the cluster's pump)
     # ------------------------------------------------------------------
-    def _deliver(self, wid: int, value, compute_time: float, err) -> None:
+    def _deliver(self, wid: int, value, compute_time: float, err, spans=None) -> None:
         if wid not in self._outstanding:
             return
         self._outstanding.discard(wid)
         if err is not None:
             self.worker_errors[wid] = err
+        if spans:
+            self.worker_spans[wid] = spans
         if value is None:
             self._received[wid] = self._missing(wid)
             return
@@ -299,10 +305,14 @@ class TcpCluster(WallClockBackend):
         self._handles: dict[int, TcpRoundHandle] = {}
         self._conns: dict[int, socket.socket] = {}
         self._sel = selectors.DefaultSelector()
+        self.wire = WireCounters()
         self._hb_seq = 0
         self._last_hb = 0.0
         #: wid -> monotonic time of the oldest unanswered heartbeat
         self._hb_pending: dict[int, float | None] = {}
+        #: wid -> (seq, monotonic send time) of the latest heartbeat,
+        #: matched against acks for the per-worker RTT gauge
+        self._hb_sent: dict[int, tuple[int, float]] = {}
         #: wid -> handshaken socket parked until the next admit_workers()
         self._pending_joins: dict[int, socket.socket] = {}
         self._fleet: LocalFleet | None = None
@@ -350,13 +360,13 @@ class TcpCluster(WallClockBackend):
                 continue
             conn.settimeout(max(0.1, remaining))
             try:
-                kind, fields, _ = read_frame(conn)
+                kind, fields, _ = read_frame(conn, self.wire)
                 if kind != "hello":
                     raise WireError(f"expected hello, got {kind!r}")
                 wid = check_hello(fields)
                 if wid not in expected or wid in self._conns:
                     raise WireError(f"unexpected or duplicate worker id {wid}")
-                send_frame(conn, "config", self._worker_config(wid))
+                send_frame(conn, "config", self._worker_config(wid), counters=self.wire)
             except (WireError, OSError, ConnectionError, KeyError, ValueError):
                 conn.close()
                 continue
@@ -403,11 +413,11 @@ class TcpCluster(WallClockBackend):
         # bounded handshake: a stalled dialer must not wedge the pump
         conn.settimeout(min(self.io_timeout or 2.0, 2.0))
         try:
-            kind, fields, _ = read_frame(conn)
+            kind, fields, _ = read_frame(conn, self.wire)
             if kind != "hello":
                 raise WireError(f"expected hello, got {kind!r}")
             wid = check_hello(fields)
-            send_frame(conn, "config", self._worker_config(wid))
+            send_frame(conn, "config", self._worker_config(wid), counters=self.wire)
         except (WireError, OSError, ConnectionError, KeyError, ValueError):
             conn.close()
             return
@@ -522,7 +532,7 @@ class TcpCluster(WallClockBackend):
             if wid in self._dead:
                 continue
             try:
-                kind, fields, arrays = read_frame(key.fileobj)
+                kind, fields, arrays = read_frame(key.fileobj, self.wire)
             except (WireError, OSError, ConnectionError):
                 self._mark_dead(wid)
                 continue
@@ -534,9 +544,15 @@ class TcpCluster(WallClockBackend):
                 if target is not None:
                     target._deliver(
                         wid, value, float(fields.get("compute_time", 0.0)),
-                        fields.get("err"),
+                        fields.get("err"), fields.get("spans"),
                     )
-            # heartbeat_ack needs no more than the _hb_pending reset
+            elif kind == "heartbeat_ack":
+                # liveness needed no more than the _hb_pending reset
+                # above; the ack of the *latest* probe additionally
+                # updates the per-worker RTT gauge
+                sent = self._hb_sent.get(wid)
+                if sent is not None and fields.get("seq") == sent[0]:
+                    self.wire.hb_rtt[wid] = max(0.0, time.monotonic() - sent[1])
         now_m = time.monotonic()
         for wid, since in list(self._hb_pending.items()):
             if (
@@ -567,10 +583,14 @@ class TcpCluster(WallClockBackend):
             if wid in self._dead:
                 continue
             try:
-                send_frame(self._conns[wid], "heartbeat", {"seq": self._hb_seq})
+                send_frame(
+                    self._conns[wid], "heartbeat", {"seq": self._hb_seq},
+                    counters=self.wire,
+                )
             except (OSError, ConnectionError):
                 self._mark_dead(wid)
                 continue
+            self._hb_sent[wid] = (self._hb_seq, now_m)
             if self._hb_pending.get(wid) is None:
                 self._hb_pending[wid] = now_m
 
@@ -607,7 +627,7 @@ class TcpCluster(WallClockBackend):
             if conn is None or wid in self._dead:
                 continue
             try:
-                send_frame(conn, "cancel", {"rid": rid})
+                send_frame(conn, "cancel", {"rid": rid}, counters=self.wire)
             except (OSError, ConnectionError):
                 self._mark_dead(wid)
 
@@ -626,7 +646,7 @@ class TcpCluster(WallClockBackend):
             try:
                 send_frame(
                     self._conns[wid], "store", {"name": name},
-                    (np.asarray(shares[slot]),),
+                    (np.asarray(shares[slot]),), counters=self.wire,
                 )
             except (OSError, ConnectionError):
                 self._mark_dead(wid)
@@ -648,11 +668,16 @@ class TcpCluster(WallClockBackend):
             "payload_key": job.payload_key,
             "rhs_key": job.rhs_key,
         }
+        if self.obs is not None:
+            # traced rounds ask the daemons for their own sub-spans;
+            # untraced frames are byte-identical to pre-obs builds
+            fields["trace"] = True
+            self.obs.on_dispatch("tcp", job, len(participants))
         arrays = (job.operand,) if job.operand is not None else ()
         parts = encode_frame("round", fields, arrays)  # serialize once
         for wid in live:
             try:
-                send_parts(self._conns[wid], parts)
+                send_parts(self._conns[wid], parts, counters=self.wire)
             except (OSError, ConnectionError):
                 self._mark_dead(wid)
         self._last_broadcast_time = time.perf_counter() - t_b0

@@ -68,6 +68,7 @@ from repro.runtime.byzantine import (
 __all__ = [
     "MSG_CODES",
     "PROTOCOL_VERSION",
+    "WireCounters",
     "WireError",
     "behavior_from_dict",
     "behavior_to_dict",
@@ -79,6 +80,54 @@ __all__ = [
     "send_frame",
     "send_parts",
 ]
+
+
+class WireCounters:
+    """Wire-level tallies for one socket cluster.
+
+    Plain attributes bumped inline by the frame read/send paths (a few
+    integer adds per frame — cheap enough to keep unconditionally), so
+    the counts are truthful whether or not observability is on; the
+    session only *surfaces* them (``summary()``, the metrics registry)
+    when it is.
+    """
+
+    __slots__ = ("bytes_in", "bytes_out", "frames_in", "frames_out",
+                 "crc_rejects", "hb_rtt")
+
+    def __init__(self) -> None:
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.frames_in = 0
+        self.frames_out = 0
+        self.crc_rejects = 0
+        #: worker id -> latest heartbeat round-trip time (seconds)
+        self.hb_rtt: dict[int, float] = {}
+
+    def note_in(self, nbytes: int) -> None:
+        self.frames_in += 1
+        self.bytes_in += nbytes
+
+    def note_out(self, nbytes: int) -> None:
+        self.frames_out += 1
+        self.bytes_out += nbytes
+
+    def collect_into(self, registry: Any, backend: str) -> None:
+        """Mirror the tallies into a metrics registry (exporter pull)."""
+        g = registry.gauge("wire_bytes_total", "bytes on the wire, by direction")
+        g.set(self.bytes_in, backend=backend, direction="in")
+        g.set(self.bytes_out, backend=backend, direction="out")
+        f = registry.gauge("wire_frames_total", "frames on the wire, by direction")
+        f.set(self.frames_in, backend=backend, direction="in")
+        f.set(self.frames_out, backend=backend, direction="out")
+        registry.gauge(
+            "wire_crc_rejects_total", "frames dropped on checksum mismatch"
+        ).set(self.crc_rejects, backend=backend)
+        rtt = registry.gauge(
+            "wire_heartbeat_rtt_seconds", "latest heartbeat round-trip, per worker"
+        )
+        for wid, value in list(self.hb_rtt.items()):
+            rtt.set(value, backend=backend, worker=wid)
 
 MAGIC = b"AV"
 PROTOCOL_VERSION = 1
@@ -182,23 +231,31 @@ def send_frame(
     fields: Mapping[str, Any],
     arrays: Sequence[np.ndarray] = (),
     lock: Any = None,
+    counters: WireCounters | None = None,
 ) -> None:
     """Write one frame to ``sock`` (scatter-gather; arrays are never
     copied into an intermediate buffer). ``lock`` serializes writers
     when more than one thread sends on the same socket."""
-    send_parts(sock, encode_frame(kind, fields, arrays), lock=lock)
+    send_parts(sock, encode_frame(kind, fields, arrays), lock=lock, counters=counters)
 
 
 def send_parts(
-    sock: socket.socket, parts: list[bytes | memoryview], lock: Any = None
+    sock: socket.socket,
+    parts: list[bytes | memoryview],
+    lock: Any = None,
+    counters: WireCounters | None = None,
 ) -> None:
     """Write one pre-encoded frame (broadcasts encode once, send to
     many). ``lock`` serializes concurrent writers on one socket."""
     if lock is not None:
         with lock:
             _send_parts(sock, parts)
-        return
-    _send_parts(sock, parts)
+    else:
+        _send_parts(sock, parts)
+    if counters is not None:
+        counters.note_out(
+            sum(p.nbytes if isinstance(p, memoryview) else len(p) for p in parts)
+        )
 
 
 def _send_parts(sock: socket.socket, parts: list[bytes | memoryview]) -> None:
@@ -293,7 +350,9 @@ def decode_payload(code: int, payload: memoryview) -> tuple[str, dict, list[np.n
     return kind, header, arrays
 
 
-def read_frame(sock: socket.socket) -> tuple[str, dict, list[np.ndarray]]:
+def read_frame(
+    sock: socket.socket, counters: WireCounters | None = None
+) -> tuple[str, dict, list[np.ndarray]]:
     """Read exactly one frame; raises :class:`WireError` on anything
     that is not a well-formed, checksummed protocol frame."""
     pre = _recv_exact(sock, _PREAMBLE.size)
@@ -308,12 +367,18 @@ def read_frame(sock: socket.socket) -> tuple[str, dict, list[np.ndarray]]:
     if length > MAX_PAYLOAD:
         raise WireError(f"declared payload of {length} bytes exceeds MAX_PAYLOAD")
     payload = _recv_exact(sock, length)
+    if counters is not None:
+        counters.note_in(_PREAMBLE.size + length)
     if zlib.crc32(payload) != crc:
+        if counters is not None:
+            counters.crc_rejects += 1
         raise WireError("payload checksum mismatch (corrupted frame)")
     return decode_payload(code, payload)
 
 
-async def read_frame_async(reader) -> tuple[str, dict, list[np.ndarray]]:
+async def read_frame_async(
+    reader, counters: WireCounters | None = None
+) -> tuple[str, dict, list[np.ndarray]]:
     """Async twin of :func:`read_frame` over an ``asyncio.StreamReader``.
 
     Same validation, same :class:`WireError` surface; a peer that
@@ -333,7 +398,11 @@ async def read_frame_async(reader) -> tuple[str, dict, list[np.ndarray]]:
     if length > MAX_PAYLOAD:
         raise WireError(f"declared payload of {length} bytes exceeds MAX_PAYLOAD")
     payload = memoryview(await reader.readexactly(length))
+    if counters is not None:
+        counters.note_in(_PREAMBLE.size + length)
     if zlib.crc32(payload) != crc:
+        if counters is not None:
+            counters.crc_rejects += 1
         raise WireError("payload checksum mismatch (corrupted frame)")
     return decode_payload(code, payload)
 

@@ -230,6 +230,10 @@ class WorkerServer:
                     await self._inbox.put(None)
                     return
                 else:
+                    if kind == "round":
+                        # receipt timestamp: anchors the daemon's own
+                        # sub-spans when the round is traced
+                        fields["_t_recv"] = time.perf_counter()
                     await self._inbox.put((kind, fields, arrays))
         except (WireError, OSError, ConnectionError, asyncio.IncompleteReadError):
             # master went away (or spoke garbage): drain and exit
@@ -287,6 +291,9 @@ class WorkerServer:
     ) -> None:
         if self._is_cancelled(rid):
             return
+        traced = bool(fields.get("trace"))
+        t_recv = fields.get("_t_recv")
+        t_dq = time.perf_counter()
         if self.factor > 1.0:
             await asyncio.sleep((self.factor - 1.0) * self.straggle_scale)
         if self._is_cancelled(rid):  # cancelled while straggling
@@ -318,4 +325,19 @@ class WorkerServer:
             "ok": value is not None,
             "err": err,
         }
+        if traced:
+            # sub-spans as offsets from frame receipt; the master
+            # anchors them so the last span ends at result arrival,
+            # which folds encode + uplink into "worker.send"
+            base = t_recv if isinstance(t_recv, (int, float)) else t_dq
+            c0 = max(t0 - base, t_dq - base)
+            c1 = c0 + compute_time
+            spans = [["worker.recv", 0.0, max(0.0, t_dq - base)]]
+            if self.factor > 1.0:
+                spans.append(["worker.straggle", t_dq - base, t0 - base])
+            spans.append(["worker.compute", c0, c1])
+            spans.append(
+                ["worker.send", c1, max(c1, time.perf_counter() - base)]
+            )
+            meta["spans"] = [[n, round(a, 9), round(b, 9)] for n, a, b in spans]
         await self._send("result", meta, (value,) if value is not None else ())

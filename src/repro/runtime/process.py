@@ -398,6 +398,8 @@ class ProcessCluster(WallClockBackend):
     ) -> ProcessRoundHandle:
         participants = self._participants(participants)
         self._check_not_dropped(participants)
+        if self.obs is not None:
+            self.obs.on_dispatch("process", job, len(participants))
         self._rid += 1
         rid = self._rid
         live = [wid for wid in participants if wid not in self._dead]

@@ -235,6 +235,8 @@ class ThreadedCluster(WallClockBackend):
     ) -> ThreadedRoundHandle:
         participants = self._participants(participants)
         self._check_not_dropped(participants)
+        if self.obs is not None:
+            self.obs.on_dispatch("threaded", job, len(participants))
         return ThreadedRoundHandle(self, job, participants)
 
     # ------------------------------------------------------------------

@@ -34,7 +34,12 @@ from typing import Any, Mapping, Protocol, runtime_checkable
 import numpy as np
 
 from repro.api.session import JobHandle, Session
-from repro.control.signals import WindowSignals
+from repro.control.signals import (
+    WindowSignals,
+    outcome_recorder,
+    set_window_tracking,
+)
+from repro.obs.metrics import HistogramSnapshot, snapshot_from_values
 from repro.serve.batcher import MicroBatcher, PendingBatch, make_batch_policy
 from repro.serve.queueing import SHED_EXPIRED, FairQueue
 from repro.serve.workload import Request
@@ -173,6 +178,21 @@ class ServeReport:
     def latencies(self) -> np.ndarray:
         return np.array([o.latency for o in self.served], dtype=float)
 
+    def latency_histogram(self) -> HistogramSnapshot:
+        """Served latencies on the shared fixed bucket ladder — two
+        reports' histograms merge losslessly
+        (:meth:`~repro.obs.metrics.HistogramSnapshot.merge`)."""
+        return snapshot_from_values(self.latencies().tolist())
+
+    def tenant_latency_histograms(self) -> dict[str, HistogramSnapshot]:
+        """Per-tenant served-latency histograms (same ladder)."""
+        out: dict[str, HistogramSnapshot] = {}
+        for tenant in sorted({o.tenant for o in self.served}):
+            out[tenant] = snapshot_from_values(
+                [o.latency for o in self.served if o.tenant == tenant]
+            )
+        return out
+
     def latency_percentile(self, p: float) -> float:
         lat = self.latencies()
         if lat.size == 0:
@@ -257,11 +277,11 @@ class ServeReport:
             "pipeline_occupancy": self.pipeline_occupancy,
         }
 
-    def to_dict(self) -> dict[str, Any]:
+    def to_dict(self, include_histograms: bool = False) -> dict[str, Any]:
         def clean(v: float) -> float | None:
             return None if isinstance(v, float) and not math.isfinite(v) else v
 
-        return {
+        out = {
             "metrics": {k: clean(v) for k, v in self.metrics().items()},
             "tenants": {
                 t: {k: clean(v) for k, v in row.items()}
@@ -269,6 +289,16 @@ class ServeReport:
             },
             "requests": [o.to_dict() for o in self.outcomes],
         }
+        if include_histograms:
+            # opt-in so the default serialization stays byte-identical
+            out["histograms"] = {
+                "latency": self.latency_histogram().to_dict(),
+                "tenants": {
+                    t: h.to_dict()
+                    for t, h in self.tenant_latency_histograms().items()
+                },
+            }
+        return out
 
     def summary(self) -> str:
         return (
@@ -347,6 +377,22 @@ class Gateway:
         self._ran = False
         self._t0 = 0.0
         self._floor = 0.0
+        #: the session's Observability (None unless the session config
+        #: enabled it) — tracing and window accounting hang off it
+        self.obs = getattr(session, "obs", None)
+        self._record_outcome: Any = None
+        if self.obs is not None:
+            # no control loop -> nobody ever drains the raw-value
+            # windows; disarm them so the hot path skips the appends
+            set_window_tracking(self.obs.registry, control_interval is not None)
+            self._record_outcome = outcome_recorder(self.obs.registry)
+        self._obs_marks: dict[Any, float] = {}
+        #: request_id -> (root "request" span, "gateway.queue" span)
+        self._req_spans: dict[int, list[Any]] = {}
+        #: (tenant, family) -> shared root-attr dict for admission spans
+        self._admit_attrs: dict[tuple[str, str], dict[str, Any]] = {}
+        #: live TelemetryServer when run_async was given telemetry_port
+        self.telemetry: Any = None
 
     # ------------------------------------------------------------------
     @property
@@ -426,19 +472,45 @@ class Gateway:
             break
         return self._build_report()
 
-    async def run_async(self) -> ServeReport:
+    async def run_async(
+        self,
+        *,
+        telemetry_port: int | None = None,
+        telemetry_host: str = "127.0.0.1",
+    ) -> ServeReport:
         """Asyncio twin of :meth:`run`: the same event loop (identical
         order of admission, batching, dispatch and harvest — reports
         are byte-identical), but every session call that can block on
         the network (``flush`` inside a dispatch, the final ``drain``)
         hops to the loop's executor, so an event loop hosting this
         coroutine overlaps batching/admission bookkeeping — and any
-        other tasks it runs — with the backend's network waits."""
+        other tasks it runs — with the backend's network waits.
+
+        With ``telemetry_port`` set (0 = ephemeral) and observability
+        enabled on the session, a live
+        :class:`~repro.obs.exporter.TelemetryServer` is attached to
+        this event loop before the first request is admitted — and is
+        deliberately *left running* after the trace completes (query
+        ``gateway.telemetry.url``, stop via
+        ``await gateway.telemetry.stop()``), so traces and metrics
+        stay inspectable after the run."""
         import asyncio
 
         if self._ran:
             raise RuntimeError("gateway already ran; build a fresh one per trace")
         self._ran = True
+        if telemetry_port is not None:
+            if self.obs is None:
+                raise RuntimeError(
+                    "telemetry endpoint needs observability=True on the "
+                    "session config"
+                )
+            from repro.obs.exporter import TelemetryServer
+
+            self.telemetry = TelemetryServer(
+                self.obs, host=telemetry_host, port=telemetry_port
+            )
+            await self.telemetry.start()
         loop = asyncio.get_running_loop()
         self._t0 = self.session.now  # trace t=0 (see `now`)
         self._floor = 0.0
@@ -496,20 +568,6 @@ class Gateway:
     def _build_window(self, t_end: float) -> WindowSignals:
         fresh = self._fresh_outcomes
         self._fresh_outcomes = []
-        served = [o for o in fresh if o.status == SERVED]
-        with_slo = [o for o in fresh if math.isfinite(o.deadline)]
-        slo = (
-            sum(1 for o in with_slo if o.slo_met) / len(with_slo)
-            if with_slo
-            else 1.0
-        )
-        lats = [o.latency for o in served if o.latency is not None]
-        p99 = float(np.percentile(lats, 99.0)) if lats else math.nan
-        slacks = [
-            o.deadline - o.completed
-            for o in served
-            if math.isfinite(o.deadline) and o.completed is not None
-        ]
         stats = self.session.stats
         byz = {
             w
@@ -532,6 +590,41 @@ class Gateway:
         roster = getattr(self.session.master, "active", None)
         if roster is not None:
             dead &= set(roster)
+        if self.obs is not None:
+            # registry-fed accounting: counter deltas + window-exact
+            # histogram drains (bit-equal to the legacy path below)
+            self.obs.registry.gauge(
+                "gateway_queue_depth", "requests waiting at window close"
+            ).set(len(self._queue))
+            signals = WindowSignals.from_registry(
+                self.obs.registry,
+                self._obs_marks,
+                window_index=self._window_index,
+                t_start=t_end - self.control_interval,
+                t_end=t_end,
+                queue_depth=len(self._queue),
+                live_workers=len(view.live),
+                pending_workers=len(view.pending),
+                dead_workers=len(dead),
+                observed_stragglers=len(strag),
+                detected_byzantine=len(byz),
+            )
+            self._window_index += 1
+            return signals
+        served = [o for o in fresh if o.status == SERVED]
+        with_slo = [o for o in fresh if math.isfinite(o.deadline)]
+        slo = (
+            sum(1 for o in with_slo if o.slo_met) / len(with_slo)
+            if with_slo
+            else 1.0
+        )
+        lats = [o.latency for o in served if o.latency is not None]
+        p99 = float(np.percentile(lats, 99.0)) if lats else math.nan
+        slacks = [
+            o.deadline - o.completed
+            for o in served
+            if math.isfinite(o.deadline) and o.completed is not None
+        ]
         signals = WindowSignals(
             window_index=self._window_index,
             t_start=t_end - self.control_interval,
@@ -568,11 +661,64 @@ class Gateway:
         )
 
     # ------------------------------------------------------------------
+    # request tracing (inert when observability is off)
+    # ------------------------------------------------------------------
+    def _trace_admit(self, req: Request, now: float) -> None:
+        """Open the request's trace at admission: a ``request`` root
+        plus a ``gateway.queue`` child covering time spent queued.
+        Spans carry *absolute* backend-clock times (``_t0 + trace``) so
+        they line up with the session/round spans grafted later."""
+        akey = (req.tenant, req.family)
+        attrs = self._admit_attrs.get(akey)
+        if attrs is None:
+            attrs = self._admit_attrs[akey] = {
+                "tenant": req.tenant,
+                "family": req.family,
+            }
+        pair = self.obs.tracer.begin_request(
+            f"req-{req.request_id}",
+            "request",
+            "gateway.queue",
+            self._t0 + now,
+            root_attrs=attrs,
+        )
+        self._req_spans[req.request_id] = list(pair)
+
+    def _trace_dequeue(self, req: Request, now: float) -> None:
+        pair = self._req_spans.get(req.request_id)
+        if pair is not None and pair[1] is not None:
+            self.obs.tracer.end(pair[1], self._t0 + now)
+            pair[1] = None
+
+    def _trace_dequeue_batch(self, reqs: list[Request], now: float) -> None:
+        """Close every dequeued request's queue span in one event."""
+        spans = self._req_spans
+        ids = []
+        for req in reqs:
+            pair = spans.get(req.request_id)
+            if pair is not None and pair[1] is not None:
+                ids.append(pair[1])
+                pair[1] = None
+        if ids:
+            self.obs.tracer.end_many(ids, self._t0 + now)
+
+    def _trace_finish(self, req: Request, status: str, t_abs: float) -> None:
+        pair = self._req_spans.pop(req.request_id, None)
+        if pair is None:
+            return
+        root, queue_span = pair
+        if queue_span is not None:  # shed straight out of the queue
+            self.obs.tracer.end(queue_span, t_abs)
+        self.obs.tracer.end(root, t_abs, status=status)
+
+    # ------------------------------------------------------------------
     def _ingest(self, heap: list[tuple[float, int, Request]]) -> None:
         """Admit every arrival at or before the current clock."""
-        while heap and heap[0][0] <= self.now:
+        while heap and heap[0][0] <= (now := self.now):
             _, _, req = heapq.heappop(heap)
-            self._queue.offer(req, self.now)
+            if self.obs is not None:
+                self._trace_admit(req, now)
+            self._queue.offer(req, now)
         self._note_shed(heap)
 
     def _fill(self, heap: list[tuple[float, int, Request]]) -> None:
@@ -625,6 +771,8 @@ class Gateway:
                 live.append(req)
         if not live:
             return
+        if self.obs is not None:
+            self._trace_dequeue_batch(live, now)
         handles = [self.session.submit(r) for r in live]
         self.session.flush(batch.family)
         self._inflight.extend((r, h, now) for r, h in zip(live, handles))
@@ -637,6 +785,8 @@ class Gateway:
         if req.expired(now):
             self._finish_shed(req, SHED_EXPIRED, heap)
             return
+        if self.obs is not None:
+            self._trace_dequeue(req, now)
         handle = self.session.submit(req)
         self._inflight.append((req, handle, now))
         self._harvest(heap)
@@ -667,6 +817,9 @@ class Gateway:
             )
             self._outcomes[req.request_id] = done
             self._fresh_outcomes.append(done)
+            if self.obs is not None:
+                self._trace_finish(req, SERVED, outcome.record.t_end)
+                self._record_outcome(done)
             follow_up = self.source.on_complete(req, completed)
             if follow_up is not None:
                 heapq.heappush(
@@ -693,6 +846,9 @@ class Gateway:
         )
         self._outcomes[req.request_id] = done
         self._fresh_outcomes.append(done)
+        if self.obs is not None:
+            self._trace_finish(req, status, self._t0 + self.now)
+            self._record_outcome(done)
         # a shed is a terminal outcome too: a closed-loop client whose
         # request was dropped still issues its next one
         follow_up = self.source.on_complete(req, self.now)

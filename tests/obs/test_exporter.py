@@ -1,0 +1,138 @@
+"""Telemetry endpoint and `repro obs` CLI tests: route contracts of
+the asyncio HTTP server, and the CLI's dump/endpoint rendering."""
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.cli import main as obs_cli
+from repro.obs.exporter import TelemetryServer
+
+
+def _obs_with_data():
+    obs = Observability()
+    obs.registry.counter("demo_total", "demo").inc(kind="x")
+    root = obs.tracer.begin("req-1", "request", 0.0)
+    obs.tracer.end(root, 1.0, status="served")
+    return obs
+
+
+def _fetch(url, method="GET"):
+    req = urllib.request.Request(url, method=method)
+    with urllib.request.urlopen(req, timeout=5) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read()
+
+
+async def _serve_and(fn):
+    obs = _obs_with_data()
+    server = await TelemetryServer(obs, port=0).start()
+    loop = asyncio.get_running_loop()
+    try:
+        return await loop.run_in_executor(None, fn, server.url)
+    finally:
+        await server.stop()
+
+
+class TestTelemetryServer:
+    def test_healthz(self):
+        def check(url):
+            status, ctype, body = _fetch(url + "/healthz")
+            assert status == 200
+            assert json.loads(body) == {"status": "ok"}
+
+        asyncio.run(_serve_and(check))
+
+    def test_metrics_prometheus_text(self):
+        def check(url):
+            status, ctype, body = _fetch(url + "/metrics")
+            assert status == 200
+            assert ctype.startswith("text/plain")
+            assert 'demo_total{kind="x"} 1' in body.decode()
+
+        asyncio.run(_serve_and(check))
+
+    def test_metrics_json(self):
+        def check(url):
+            status, _, body = _fetch(url + "/metrics.json")
+            assert status == 200
+            doc = json.loads(body)
+            assert "demo_total" in doc
+
+        asyncio.run(_serve_and(check))
+
+    def test_trace_by_id_and_listing(self):
+        def check(url):
+            status, _, body = _fetch(url + "/traces")
+            assert status == 200
+            assert "req-1" in json.loads(body)["traces"]
+            status, _, body = _fetch(url + "/trace/req-1")
+            doc = json.loads(body)
+            assert doc["trace_id"] == "req-1"
+            assert doc["spans"][0]["name"] == "request"
+            assert doc["spans"][0]["attrs"]["status"] == "served"
+
+        asyncio.run(_serve_and(check))
+
+    def test_unknown_trace_404(self):
+        def check(url):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _fetch(url + "/trace/nope")
+            assert err.value.code == 404
+
+        asyncio.run(_serve_and(check))
+
+    def test_unknown_path_404_and_post_405(self):
+        def check(url):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _fetch(url + "/whatever")
+            assert err.value.code == 404
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _fetch(url + "/metrics", method="POST")
+            assert err.value.code == 405
+
+        asyncio.run(_serve_and(check))
+
+
+class TestObsCli:
+    def _dump(self, tmp_path):
+        obs = _obs_with_data()
+        path = tmp_path / "snap.json"
+        obs.dump_path(str(path))
+        return path
+
+    def test_dump_mode_renders_metrics_and_timeline(self, tmp_path, capsys):
+        path = self._dump(tmp_path)
+        assert obs_cli([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "demo_total" in out
+        assert "req-1" in out
+        assert "request" in out
+
+    def test_dump_mode_specific_trace(self, tmp_path, capsys):
+        path = self._dump(tmp_path)
+        assert obs_cli([str(path), "--trace", "req-1"]) == 0
+        assert "request" in capsys.readouterr().out
+
+    def test_requires_dump_xor_endpoint(self, capsys):
+        with pytest.raises(SystemExit):
+            obs_cli([])
+
+    def test_endpoint_mode_polls_live_server(self, capsys):
+        async def run():
+            obs = _obs_with_data()
+            server = await TelemetryServer(obs, port=0).start()
+            loop = asyncio.get_running_loop()
+            try:
+                return await loop.run_in_executor(
+                    None, obs_cli, ["--endpoint", server.url]
+                )
+            finally:
+                await server.stop()
+
+        assert asyncio.run(run()) == 0
+        out = capsys.readouterr().out
+        assert "demo_total" in out

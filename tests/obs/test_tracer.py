@@ -1,0 +1,175 @@
+"""Unit tests for the span tracer and the round-record bridge: link
+splicing, forest recording, eviction, dump round-trips, and the
+recorder reconstruction used by the Fig. 4 breakdown."""
+
+import pytest
+
+from repro.obs.bridge import (
+    mean_breakdown,
+    recorder_from_tracer,
+    round_forest,
+    round_spans,
+)
+from repro.obs.trace import Tracer
+from repro.runtime.trace import RoundRecord
+
+
+def _record(**kw):
+    base = dict(
+        iteration=0,
+        round_name="fwd",
+        t_start=10.0,
+        t_end=11.0,
+        compute_wait=0.5,
+        comm_time=0.2,
+        verify_time=0.1,
+        decode_time=0.1,
+        n_collected=3,
+        n_verified=3,
+        n_rejected=0,
+        used_workers=(0, 1, 2),
+        worker_latencies=((0, 0.3), (1, 0.4), (2, 0.5)),
+    )
+    base.update(kw)
+    return RoundRecord(**base)
+
+
+class TestTracer:
+    def test_begin_end_and_root(self):
+        tr = Tracer()
+        root = tr.begin("t", "request", 1.0, tenant="a")
+        child = tr.begin("t", "step", 1.1, parent_id=root)
+        tr.end(child, 1.5)
+        tr.end(root, 2.0, status="served")
+        assert tr.root_id("t") == root
+        root_span = tr.root("t")
+        assert root_span.span_id == root
+        assert root_span.t_end == 2.0
+        assert root_span.attrs["status"] == "served"
+        (child_span,) = [s for s in tr.spans("t") if s.span_id == child]
+        assert child_span.duration == pytest.approx(0.4)
+
+    def test_span_ids_globally_unique_across_traces(self):
+        tr = Tracer()
+        a = tr.begin("t1", "a", 0.0)
+        b = tr.begin("t2", "b", 0.0)
+        assert a != b
+
+    def test_end_is_first_close_wins_and_unknown_ids_are_ignored(self):
+        tr = Tracer()
+        sid = tr.begin("t", "x", 0.0)
+        tr.end(sid, 1.0)
+        tr.end(sid, 5.0)  # already closed: kept at 1.0
+        tr.end(10**9, 2.0)  # never begun: no-op
+        (span,) = tr.spans("t")
+        assert span.t_end == 1.0
+
+    def test_record_forest_resolves_local_parents(self):
+        tr = Tracer()
+        tr.record_forest(
+            "f",
+            [
+                {"name": "root", "t_start": 0.0, "t_end": 1.0, "parent": None},
+                {"name": "kid", "t_start": 0.1, "t_end": 0.9, "parent": 0},
+                {"name": "grandkid", "t_start": 0.2, "t_end": 0.3, "parent": 1},
+            ],
+        )
+        spans = tr.spans("f")
+        assert spans[1].parent_id == spans[0].span_id
+        assert spans[2].parent_id == spans[1].span_id
+
+    def test_resolved_splices_linked_trace(self):
+        tr = Tracer()
+        root = tr.begin("req", "request", 0.0)
+        tr.end(root, 2.0)
+        tr.record_forest(
+            "round-0",
+            [
+                {"name": "round", "t_start": 0.5, "t_end": 1.5, "parent": None},
+                {"name": "round.decode", "t_start": 1.4, "t_end": 1.5, "parent": 0},
+            ],
+        )
+        link = tr.add(
+            "req", "round", 0.5, 1.5, parent_id=root, link="round-0"
+        )
+        resolved = tr.resolved("req")
+        names = [s.name for s in resolved]
+        assert names == ["request", "round", "round", "round.decode"]
+        # the spliced round root is re-parented under the link span
+        spliced_root = resolved[2]
+        assert spliced_root.parent_id == link
+        # every non-root parent id resolves inside the resolved set
+        ids = {s.span_id for s in resolved}
+        roots = [s for s in resolved if s.parent_id is None]
+        assert len(roots) == 1
+        assert all(
+            s.parent_id in ids for s in resolved if s.parent_id is not None
+        )
+
+    def test_resolved_survives_link_cycles(self):
+        tr = Tracer()
+        a = tr.add("a", "a", 0.0, 1.0, link="b")
+        tr.add("b", "b", 0.0, 1.0, link="a")
+        assert tr.resolved("a")  # terminates
+
+    def test_eviction_drops_oldest_trace(self):
+        tr = Tracer(max_traces=2)
+        tr.add("t1", "x", 0.0, 1.0)
+        tr.add("t2", "x", 0.0, 1.0)
+        tr.add("t3", "x", 0.0, 1.0)
+        assert not tr.has("t1")
+        assert tr.has("t2") and tr.has("t3")
+
+    def test_dump_roundtrip_preserves_ids(self):
+        tr = Tracer()
+        root = tr.begin("t", "request", 1.0)
+        tr.begin("t", "kid", 1.1, parent_id=root)
+        back = Tracer.from_dump(tr.dump())
+        spans = back.spans("t")
+        assert [s.span_id for s in spans] == [
+            s.span_id for s in tr.spans("t")
+        ]
+        # new spans keep allocating above the restored ids
+        fresh = back.begin("t", "more", 2.0)
+        assert fresh > spans[-1].span_id
+
+
+class TestBridge:
+    def test_round_forest_shape_and_containment(self):
+        rec = _record()
+        forest = round_forest(rec, {1: [["worker.compute", 0.0, 0.2]]})
+        names = [n["name"] for n in forest]
+        assert names[0] == "round"
+        assert "round.broadcast" in names and "round.collect" in names
+        assert "round.verify" in names and "round.decode" in names
+        assert sum(1 for n in names if n.startswith("worker:")) == 3
+        assert "worker.compute" in names
+        t0, t3 = rec.t_start, rec.t_end
+        for node in forest:
+            assert t0 <= node["t_start"] <= node["t_end"] <= t3
+
+    def test_round_forest_marks_unused_workers(self):
+        rec = _record(used_workers=(0, 1))
+        forest = round_forest(rec)
+        flags = {
+            n["attrs"]["worker_id"]: n["attrs"]["used"]
+            for n in forest
+            if n["name"].startswith("worker:")
+        }
+        assert flags == {0: True, 1: True, 2: False}
+
+    def test_recorder_reconstruction_matches_breakdown(self):
+        tr = Tracer()
+        for i, name in enumerate(("fwd", "bwd")):
+            tr.record_forest(
+                f"round-{i}", round_forest(_record(round_name=name))
+            )
+        rounds = round_spans(tr)
+        assert len(rounds) == 2
+        recorder = recorder_from_tracer(tr)
+        assert len(recorder.iterations) == 1
+        bd = mean_breakdown(tr)
+        assert bd["communication"] == pytest.approx(0.4)
+        assert bd["verification"] == pytest.approx(0.2)
+        assert bd["decoding"] == pytest.approx(0.2)
+        assert bd["compute"] == pytest.approx(1.0)

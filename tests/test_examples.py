@@ -6,6 +6,7 @@ reduced scale through the experiment-harness tests instead; here we run
 the fast ones end to end as subprocesses.
 """
 
+import json
 import subprocess
 import sys
 from pathlib import Path
@@ -75,6 +76,19 @@ class TestExamples:
         assert "fully healed" in out
         assert "rejoined" in out
         assert "verified bit-exact" in out
+
+    def test_observability_demo(self, tmp_path):
+        snap = tmp_path / "obs_snapshot.json"
+        out = _run(
+            "observability_demo.py", "--requests", "24", "--snapshot", str(snap)
+        )
+        assert "live telemetry endpoint at http://" in out
+        assert "gateway_requests_total" in out
+        assert "round.decode" in out
+        assert "byte-identical with observability off" in out
+        # the snapshot the demo writes must be a loadable repro-obs dump
+        doc = json.loads(snap.read_text())
+        assert "metrics" in doc and "traces" in doc
 
     def test_private_inference(self):
         out = _run("private_inference.py")
