@@ -148,6 +148,19 @@ class SessionConfig:
         and the ``repro obs`` CLI. ``False`` (default) instantiates
         none of it — reports, summaries and wire frames are
         byte-identical to an untraced build.
+    audit:
+        When ``True`` the session arms every master with one shared
+        :class:`~repro.obs.audit.AuditLog`: each finalized round
+        appends a hash-chained :class:`~repro.obs.audit.
+        RoundCommitment` (scheme config, operand/output digests,
+        per-worker result digests, verify verdicts), the socket
+        backends' worker daemons countersign results with a digest in
+        the result frame, and ``ServeReport`` rows carry the sequence
+        number of the commitment backing each request. ``False``
+        (default) instantiates none of it — reports, round results and
+        wire frames are byte-identical to an unaudited build.
+        Independent of ``observability`` (the live ``/audit`` endpoint
+        needs both).
     cost:
         Overrides for :class:`~repro.runtime.costmodel.CostModel`
         fields (e.g. ``{"worker_sec_per_mac": 300e-9}``).
@@ -182,6 +195,7 @@ class SessionConfig:
     max_inflight_rounds: int = 1
     elastic_membership: bool = True
     observability: bool = False
+    audit: bool = False
     cost: dict[str, Any] = dc_field(default_factory=dict)
     net: NetTunables = dc_field(default_factory=NetTunables)
     backend_options: dict[str, Any] = dc_field(default_factory=dict)

@@ -53,6 +53,7 @@ from repro.api.registry import resolve_backend, resolve_master
 from repro.api.scheduler import InflightRound, RoundScheduler, SessionClosedError
 from repro.core.results import AdaptationOutcome, RoundOutcome
 from repro.obs import Observability
+from repro.obs.audit import AuditLog
 from repro.runtime.backend import Backend, MembershipEvent
 from repro.runtime.trace import RoundRecord
 
@@ -116,6 +117,10 @@ class JobHandle:
     #: set by the session when observability is on:
     #: (trace_id, session span, root span if the session opened it)
     _trace: tuple[str, Any, Any] | None = None
+
+    #: set at finalize when auditing is on: the sequence number of the
+    #: audit-chain commitment backing this job's round
+    _audit_seq: int | None = None
 
     def __init__(self, session: "Session", kind: str, family: str) -> None:
         self._session = session
@@ -391,6 +396,18 @@ class Session:
                 reg.register_collector(
                     lambda r, w=wire, b=backend_name: w.collect_into(r, b)
                 )
+        self.audit: AuditLog | None = (
+            AuditLog() if config is not None and config.audit else None
+        )
+        if self.audit is not None:
+            # arm the primary master (auxiliary masters are armed as
+            # they are built) and ask the socket backends to request
+            # worker countersignatures on every round frame
+            self.master.audit = self.audit
+            self.backend.attest = True
+            if self.obs is not None:
+                # the live /audit telemetry endpoints read through obs
+                self.obs.audit = self.audit
         self._scheduler = RoundScheduler(
             self.max_inflight_rounds,
             on_dispatched=self._stats.dispatch_depths.append,
@@ -486,6 +503,8 @@ class Session:
                 probes=self._aux_probes(),
                 rng=self.master.rng,
             )
+            if self.audit is not None:
+                master.audit = self.audit
             master.setup(request.operand, request.operand_b)
             handle = JobHandle(self, "matmul", "matmul")
             self._stats.jobs_submitted += 1
@@ -621,6 +640,13 @@ class Session:
         self, rec: InflightRound, outcomes: list[RoundOutcome]
     ) -> None:
         self._note_round(rec.jobs, outcomes[0].record)
+        if self.audit is not None and len(self.audit) > 0:
+            # the commitment was appended inside complete_round, which
+            # ran synchronously just before this callback — the chain
+            # head is this round's record
+            seq = self.audit.records[-1].seq
+            for h in rec.jobs:
+                h._audit_seq = seq
         if self.obs is not None:
             self._trace_round(rec, outcomes[0].record)
 
@@ -939,6 +965,8 @@ class Session:
             self.backend, scheme.with_(deg_f=2), probes=self._aux_probes(),
             rng=self.master.rng,
         )
+        if self.audit is not None:
+            self._gramian_master.audit = self.audit
         self._gramian_master.setup(self._x)
 
     def _check_open(self) -> None:

@@ -215,6 +215,15 @@ class AVCCMaster(MatvecMasterBase):
             rejected=rejected,
             used=[a.worker_id for a in verified],
         )
+        self._audit_commit(
+            plan,
+            record,
+            output=vec,
+            accepted=[a.worker_id for a in verified],
+            verify_ok=not rejected,
+            arrivals=rr.arrived(),
+            handle=handle,
+        )
         self.backend.advance_to(t_end)
         return RoundOutcome(vector=vec, record=record)
 

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.coding.base import unpartition_rows
 from repro.ff.field import PrimeField
+from repro.obs.audit import digest_array
 from repro.runtime.backend import Arrival, Backend, RoundHandle, RoundJob, RoundResult
 from repro.runtime.trace import RoundRecord
 
@@ -145,6 +146,12 @@ class MatvecMasterBase:
     """
 
     name = "base"
+
+    #: the session's shared :class:`~repro.obs.audit.AuditLog` when
+    #: ``SessionConfig.audit`` is on, ``None`` otherwise. Armed by the
+    #: session; with it off, :meth:`_audit_commit` is a no-op and the
+    #: finalize path is byte-identical to an unaudited build.
+    audit: Any = None
 
     #: latency-ratio threshold of the *exact-timing* straggler detector:
     #: on backends with a virtual clock (``timing_is_exact`` — the
@@ -305,6 +312,57 @@ class MatvecMasterBase:
     def _strip(blocks: np.ndarray, true_len: int) -> np.ndarray:
         """Concatenate decoded blocks and strip zero padding."""
         return unpartition_rows(blocks)[:true_len]
+
+    def _audit_commit(
+        self,
+        plan: RoundPlan,
+        record: RoundRecord,
+        *,
+        output: np.ndarray,
+        accepted: Sequence[int],
+        verify_ok: bool,
+        arrivals: Sequence[Arrival] = (),
+        handle: RoundHandle | None = None,
+    ) -> None:
+        """Append this round's commitment to the session's audit chain
+        (no-op unless the session armed :attr:`audit`).
+
+        Digests every *received* result — rejected workers included,
+        so the evidence of a Byzantine share survives verification —
+        and cross-checks any daemon-countersigned digests the backend
+        handle collected (``worker_digests``, socket backends only):
+        workers whose shipped digest matches the master-side digest of
+        the received bytes land in the commitment's ``attested`` set.
+        """
+        if self.audit is None:
+            return
+        n_t, k_t = self.scheme_now
+        scheme = getattr(self, "scheme", None)
+        s = int(getattr(scheme, "s", 0) or getattr(self, "s", 0) or 0)
+        m = int(getattr(scheme, "m", 0) or getattr(self, "m", 0) or 0)
+        digests = {
+            int(a.worker_id): digest_array(a.value)
+            for a in arrivals
+            if a.value is not None
+        }
+        shipped = getattr(handle, "worker_digests", None) or {}
+        attested = sorted(
+            w for w, d in digests.items() if shipped.get(w) == d
+        )
+        operand = plan.job.operand
+        self.audit.commit(
+            family=record.round_name,
+            scheme=(n_t, k_t, s, m),
+            operand_digest=digest_array(operand) if operand is not None else "",
+            output_digest=digest_array(output),
+            workers=plan.participants,
+            worker_digests=sorted(digests.items()),
+            attested=attested,
+            accepted=accepted,
+            rejected=record.rejected_workers,
+            verify_ok=verify_ok,
+            t_end=record.t_end,
+        )
 
     # ------------------------------------------------------------------
     # cost formulas (documented in DESIGN.md; drive simulated timing)

@@ -207,6 +207,12 @@ class GramianAVCCMaster(MatvecMasterBase):
             rejected=rejected,
             used=[a.worker_id for a in verified],
         )
+        self._audit_commit(
+            plan, record, output=g,
+            accepted=[a.worker_id for a in verified],
+            verify_ok=not rejected,
+            arrivals=rr.arrived(), handle=handle,
+        )
         self.backend.advance_to(t_end)
         return RoundOutcome(vector=g, record=record)
 

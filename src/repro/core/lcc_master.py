@@ -135,6 +135,7 @@ class LCCMaster(MatvecMasterBase):
         decode_time = self.cost_model.master_compute_time(decode_macs)
 
         rejected: list[int] = []
+        corrected = True
         try:
             blocks, err_pos = ctx.code.decode_corrected(
                 positions, values, max_errors=self.scheme.m, rng=self.rng
@@ -145,6 +146,7 @@ class LCCMaster(MatvecMasterBase):
             # K results without correction (poisoned, but the master
             # cannot know — exactly the paper's degradation mode).
             blocks = ctx.code.decode(positions[:need], values[:need])
+            corrected = False
 
         vec = self._strip(blocks, ctx.st.true_len)
         t_end = t_wait + decode_time
@@ -161,6 +163,12 @@ class LCCMaster(MatvecMasterBase):
             n_verified=len(collected) - len(rejected),
             rejected=rejected,
             used=[a.worker_id for a in collected],
+        )
+        self._audit_commit(
+            plan, record, output=vec,
+            accepted=[a.worker_id for a in collected if a.worker_id not in rejected],
+            verify_ok=corrected,
+            arrivals=rr.arrived(), handle=handle,
         )
         self.backend.advance_to(t_end)
         return RoundOutcome(vector=vec, record=record)

@@ -118,5 +118,11 @@ class UncodedMaster(MatvecMasterBase):
             rejected=[],
             used=[a.worker_id for a in by_position],
         )
+        self._audit_commit(
+            plan, record, output=vec,
+            accepted=[a.worker_id for a in by_position],
+            verify_ok=False,  # uncoded never verifies anything
+            arrivals=rr.arrived(), handle=handle,
+        )
         self.backend.advance_to(t_end)
         return RoundOutcome(vector=vec, record=record)

@@ -6,6 +6,9 @@ Usage::
     python -m repro.experiments --fast     # 15-iteration smoke pass
     repro obs SNAPSHOT.json                # inspect a telemetry dump
     repro obs --endpoint URL               # poll a live gateway
+    repro audit verify CHAIN.jsonl         # verify a dumped audit chain
+    repro audit show CHAIN.jsonl           # render its commitments
+    repro audit diff A.jsonl B.jsonl       # first divergence of two chains
 """
 
 import sys
@@ -27,6 +30,10 @@ def main(argv=None) -> int:
         from repro.obs.cli import main as obs_main
 
         return obs_main(argv[1:])
+    if argv and argv[0] == "audit":
+        from repro.obs.cli import audit_main
+
+        return audit_main(argv[1:])
     iterations = 15 if "--fast" in argv else 50
     cfg = ExperimentConfig(iterations=iterations)
     t0 = time.perf_counter()

@@ -153,6 +153,8 @@ class DistributedLogisticTrainer:
             history.reencode_times.append(adapt.reencode_time)
             history.detected_byzantine.append(adapt.detected_byzantine)
             history.observed_stragglers.append(adapt.observed_stragglers)
+            audit = getattr(self.session, "audit", None)
+            history.audit_heads.append(audit.head if audit is not None else None)
 
             if recorder is not None:
                 recorder.add(

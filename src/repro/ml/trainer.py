@@ -28,6 +28,10 @@ class TrainingHistory:
     reencode_times: list[float] = field(default_factory=list)
     detected_byzantine: list[tuple[int, ...]] = field(default_factory=list)
     observed_stragglers: list[tuple[int, ...]] = field(default_factory=list)
+    #: audit-chain head hash after each iteration (``None`` entries
+    #: when the session is unaudited) — a training run whose heads all
+    #: chain is provable as one unbroken sequence of verified rounds
+    audit_heads: list[str | None] = field(default_factory=list)
 
     def iterations(self) -> int:
         return len(self.times)

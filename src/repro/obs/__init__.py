@@ -19,6 +19,17 @@ import itertools
 import json
 from typing import IO, Any
 
+from .audit import (
+    GENESIS,
+    AuditLog,
+    ChainError,
+    RoundCommitment,
+    digest_array,
+    diff_chains,
+    load_jsonl,
+    record_hash,
+    verify_chain,
+)
 from .metrics import (
     LATENCY_BUCKETS,
     Counter,
@@ -31,16 +42,25 @@ from .metrics import (
 from .trace import Span, Tracer
 
 __all__ = [
+    "GENESIS",
     "LATENCY_BUCKETS",
+    "AuditLog",
+    "ChainError",
     "Counter",
     "Gauge",
     "Histogram",
     "HistogramSnapshot",
     "MetricsRegistry",
     "Observability",
+    "RoundCommitment",
     "Span",
     "Tracer",
+    "diff_chains",
+    "digest_array",
+    "load_jsonl",
+    "record_hash",
     "snapshot_from_values",
+    "verify_chain",
 ]
 
 
@@ -50,6 +70,9 @@ class Observability:
     def __init__(self, *, max_traces: int = 4096) -> None:
         self.tracer = Tracer(max_traces=max_traces)
         self.registry = MetricsRegistry()
+        #: the session's :class:`AuditLog` when *both* observability
+        #: and audit are armed — feeds the live ``/audit`` endpoints
+        self.audit: AuditLog | None = None
         self._round_seq = itertools.count()
         self._rounds_total = self.registry.counter(
             "backend_rounds_total", "rounds dispatched, by backend"

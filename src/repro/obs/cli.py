@@ -1,4 +1,4 @@
-"""``repro obs`` — inspect a run's telemetry.
+"""``repro obs`` / ``repro audit`` — inspect a run's telemetry.
 
 Two sources, one renderer:
 
@@ -12,6 +12,11 @@ Two sources, one renderer:
   it tails the run, re-rendering the newest round timeline N times.
 
 ``--trace <id>`` narrows either mode to one trace.
+
+``repro audit`` (:func:`audit_main`) works the dumped audit chains:
+``verify log.jsonl`` walks every hash link (exit 1 names the first
+tampered/reordered/deleted record), ``show`` renders the commitments,
+and ``diff a.jsonl b.jsonl`` reports where two chains diverge.
 """
 
 from __future__ import annotations
@@ -19,13 +24,16 @@ from __future__ import annotations
 import argparse
 import json
 import time
+import urllib.error
 import urllib.request
 from typing import Any
 
 from .bridge import render_timeline
 from .trace import Tracer
 
-__all__ = ["main"]
+import sys
+
+__all__ = ["audit_main", "main"]
 
 
 def _fetch(url: str) -> Any:
@@ -99,18 +107,113 @@ def main(argv: list[str] | None = None) -> int:
     for tick in range(args.follow + 1):
         if tick:
             time.sleep(1.0)
-        health = _fetch(f"{base}/healthz")
-        print(f"[{tick}] {base} status={health.get('status')}")
-        print(_metrics_digest(_fetch(f"{base}/metrics.json")))
-        if args.trace is not None:
-            ids = [args.trace]
-        else:
-            ids = _fetch(f"{base}/traces").get("traces", [])[-args.limit:]
-        for tid in ids:
-            trace = _fetch(f"{base}/trace/{tid}")
-            print(f"\n== {tid} ==")
-            print(render_timeline(trace.get("spans", []), width=args.width))
+        try:
+            health = _fetch(f"{base}/healthz")
+            print(f"[{tick}] {base} status={health.get('status')}")
+            print(_metrics_digest(_fetch(f"{base}/metrics.json")))
+            if args.trace is not None:
+                ids = [args.trace]
+            else:
+                ids = _fetch(f"{base}/traces").get("traces", [])[-args.limit:]
+            for tid in ids:
+                trace = _fetch(f"{base}/trace/{tid}")
+                print(f"\n== {tid} ==")
+                print(render_timeline(trace.get("spans", []), width=args.width))
+        except (urllib.error.URLError, ConnectionError, OSError, TimeoutError) as exc:
+            # dead/refused/vanished endpoint: a clear diagnosis and a
+            # nonzero exit, not a traceback — follow loops see this
+            # when the serving run they tail finishes or crashes
+            reason = getattr(exc, "reason", None) or exc
+            print(
+                f"error: telemetry endpoint {base} is unreachable ({reason})",
+                file=sys.stderr,
+            )
+            return 1
     return 0
+
+
+def _render_commitment(row: dict[str, Any]) -> str:
+    scheme = tuple(row.get("scheme", ()))
+    attested = row.get("attested", [])
+    line = (
+        f"[{row.get('seq'):>4}] {row.get('family', '?'):<8} "
+        f"scheme={scheme} verify_ok={row.get('verify_ok')} "
+        f"accepted={list(row.get('accepted', []))} "
+        f"rejected={list(row.get('rejected', []))}"
+    )
+    if attested:
+        line += f" attested={list(attested)}"
+    line += (
+        f"\n       out={str(row.get('output_digest', ''))[:16]}... "
+        f"prev={str(row.get('prev', ''))[:16]}... "
+        f"hash={str(row.get('hash', ''))[:16]}..."
+    )
+    return line
+
+
+def audit_main(argv: list[str] | None = None) -> int:
+    from .audit import ChainError, diff_chains, load_jsonl, verify_chain
+
+    parser = argparse.ArgumentParser(
+        prog="repro audit",
+        description="verify, render and diff dumped audit chains",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_verify = sub.add_parser("verify", help="walk every hash link of a chain")
+    p_verify.add_argument("chain", help="path to an AuditLog JSONL dump")
+    p_verify.add_argument(
+        "--head", help="expected head hash from an independent channel "
+        "(e.g. the live /audit endpoint) — also catches a truncated tail",
+    )
+    p_verify.add_argument(
+        "--length", type=int, help="expected chain length (catches truncation)"
+    )
+    p_show = sub.add_parser("show", help="render a chain's commitments")
+    p_show.add_argument("chain", help="path to an AuditLog JSONL dump")
+    p_show.add_argument("--seq", type=int, help="show only this record")
+    p_diff = sub.add_parser("diff", help="first divergence between two chains")
+    p_diff.add_argument("chain_a")
+    p_diff.add_argument("chain_b")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.command == "verify":
+            rows = load_jsonl(args.chain)
+            head = verify_chain(
+                rows, expect_head=args.head, expect_length=args.length
+            )
+            print(f"chain OK: {len(rows)} records, head {head}")
+            return 0
+        if args.command == "show":
+            rows = load_jsonl(args.chain)
+            if args.seq is not None:
+                if not 0 <= args.seq < len(rows):
+                    print(
+                        f"error: seq {args.seq} out of range "
+                        f"(chain has {len(rows)} records)",
+                        file=sys.stderr,
+                    )
+                    return 1
+                rows = [rows[args.seq]]
+            for row in rows:
+                print(_render_commitment(row))
+            return 0
+        # diff
+        a = load_jsonl(args.chain_a)
+        b = load_jsonl(args.chain_b)
+        differences = diff_chains(a, b)
+        if not differences:
+            print(f"chains identical: {len(a)} records")
+            return 0
+        for line in differences:
+            print(line)
+        return 1
+    except ChainError as exc:
+        print(f"chain BROKEN: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -6,7 +6,12 @@ Serves a session's :class:`~repro.obs.Observability` live:
 * ``GET /metrics`` — Prometheus text exposition (v0.0.4);
 * ``GET /metrics.json`` — the registry's JSON snapshot;
 * ``GET /traces`` — ids of every live trace;
-* ``GET /trace/<id>`` — one resolved span tree (round links spliced).
+* ``GET /trace/<id>`` — one resolved span tree (round links spliced);
+* ``GET /audit`` — the audit chain's head hash + length (the
+  independent channel an auditor needs to detect a truncated tail);
+* ``GET /audit/<seq>`` — one :class:`~repro.obs.audit.RoundCommitment`
+  as JSON. Both 404 unless the session armed ``SessionConfig.audit``
+  alongside observability.
 
 Implemented directly on ``asyncio.start_server`` — no HTTP framework,
 no new dependency; enough of HTTP/1.0 for ``curl``, Prometheus scrapes
@@ -106,6 +111,37 @@ class TelemetryServer:
                     "404 Not Found", {"error": f"unknown trace {trace_id!r}"}
                 )
             return self._json("200 OK", self.obs.tracer.to_dict(trace_id))
+        if path == "/audit":
+            audit = getattr(self.obs, "audit", None)
+            if audit is None:
+                return self._json(
+                    "404 Not Found",
+                    {"error": "auditing is not armed (SessionConfig.audit)"},
+                )
+            return self._json(
+                "200 OK", {"head": audit.head, "length": len(audit)}
+            )
+        if path.startswith("/audit/"):
+            audit = getattr(self.obs, "audit", None)
+            if audit is None:
+                return self._json(
+                    "404 Not Found",
+                    {"error": "auditing is not armed (SessionConfig.audit)"},
+                )
+            raw = path[len("/audit/"):]
+            try:
+                seq = int(raw)
+            except ValueError:
+                return self._json(
+                    "404 Not Found", {"error": f"bad audit seq {raw!r}"}
+                )
+            if not 0 <= seq < len(audit):
+                return self._json(
+                    "404 Not Found",
+                    {"error": f"audit seq {seq} out of range (chain has "
+                              f"{len(audit)} records)"},
+                )
+            return self._json("200 OK", audit.records[seq].to_dict())
         return self._json("404 Not Found", {"error": f"no route {path!r}"})
 
     @staticmethod

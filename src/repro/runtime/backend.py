@@ -284,6 +284,12 @@ class Backend(ABC):
     #: daemons ship their sub-spans back.
     obs: Any = None
 
+    #: ``True`` when the session armed auditing
+    #: (``SessionConfig.audit``): the socket clusters flag round
+    #: frames so worker daemons countersign results with a digest of
+    #: their computed share. Inert on the in-process backends.
+    attest: bool = False
+
     #: whether arrival timestamps are exact (virtual clock) or wall
     #: clock. Masters use the paper's latency-ratio straggler detector
     #: only on exact-timing backends; on wall-clock backends OS

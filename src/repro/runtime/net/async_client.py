@@ -127,8 +127,8 @@ class AsyncTcpRoundHandle(RoundHandle):
         self._cluster = cluster
         self._rid = rid
         self._participants = participants
-        #: (wid, value|None, compute_time, err|None, spans|None) events
-        #: from the loop
+        #: (wid, value|None, compute_time, err|None, spans|None,
+        #: digest|None) events from the loop
         self._events: queue.SimpleQueue = queue.SimpleQueue()
         self._received: dict[int, Arrival] = {}
         self._inbox: list[Arrival] = []
@@ -136,6 +136,9 @@ class AsyncTcpRoundHandle(RoundHandle):
         self.worker_errors: dict[int, str] = {}
         #: worker_id -> daemon-side sub-spans (traced rounds only)
         self.worker_spans: dict[int, list] = {}
+        #: worker_id -> daemon-countersigned result digest from
+        #: attested result frames (audit armed)
+        self.worker_digests: dict[int, str] = {}
         self._outstanding: set[int] = set(participants)
         self._cancelled = False
         self.t_start = cluster.now
@@ -157,7 +160,7 @@ class AsyncTcpRoundHandle(RoundHandle):
                     self._outstanding.discard(wid)
                     self._received[wid] = self._missing(wid)
             return False
-        wid, value, compute_time, err, spans = ev
+        wid, value, compute_time, err, spans, digest = ev
         if wid not in self._outstanding:
             return True
         self._outstanding.discard(wid)
@@ -165,6 +168,8 @@ class AsyncTcpRoundHandle(RoundHandle):
             self.worker_errors[wid] = err
         if spans:
             self.worker_spans[wid] = spans
+        if digest is not None:
+            self.worker_digests[wid] = digest
         if value is None:
             self._received[wid] = self._missing(wid)
             return True
@@ -454,6 +459,7 @@ class AsyncTcpCluster(WallClockBackend):
                                 float(fields.get("compute_time", 0.0)),
                                 fields.get("err"),
                                 fields.get("spans"),
+                                fields.get("digest"),
                             )
                         )
                         if not rnd.outstanding:
@@ -479,7 +485,7 @@ class AsyncTcpCluster(WallClockBackend):
         if rnd is None:
             return
         for wid in list(rnd.outstanding):
-            rnd.events.put((wid, None, 0.0, None, None))
+            rnd.events.put((wid, None, 0.0, None, None, None))
         rnd.outstanding.clear()
 
     def _mark_dead(self, wid: int) -> None:
@@ -500,7 +506,7 @@ class AsyncTcpCluster(WallClockBackend):
             rnd = self._rounds[rid]
             if wid in rnd.outstanding:
                 rnd.outstanding.discard(wid)
-                rnd.events.put((wid, None, 0.0, None, None))
+                rnd.events.put((wid, None, 0.0, None, None, None))
                 if not rnd.outstanding:
                     self._finish_round(rid)
 
@@ -687,6 +693,9 @@ class AsyncTcpCluster(WallClockBackend):
             # untraced round frames stay byte-identical
             fields["trace"] = True
             self.obs.on_dispatch("async_tcp", job, len(participants))
+        if self.attest:
+            # audited rounds ask the daemons to countersign results
+            fields["attest"] = True
         arrays = (job.operand,) if job.operand is not None else ()
         parts = encode_frame("round", fields, arrays)  # serialize once
         handle = AsyncTcpRoundHandle(self, rid, participants)
@@ -705,7 +714,7 @@ class AsyncTcpCluster(WallClockBackend):
         payload = [bytes(p) if isinstance(p, memoryview) else p for p in parts]
         for wid in participants:
             if wid in self._dead or wid not in self._writers:
-                events.put((wid, None, 0.0, None, None))
+                events.put((wid, None, 0.0, None, None, None))
             else:
                 rnd.outstanding.add(wid)
         self._rounds[rid] = rnd
@@ -786,7 +795,7 @@ class AsyncTcpCluster(WallClockBackend):
                 rnd = self._rounds[rid]
                 if wid in rnd.outstanding:
                     rnd.outstanding.discard(wid)
-                    rnd.events.put((wid, None, 0.0, None, None))
+                    rnd.events.put((wid, None, 0.0, None, None, None))
                     if not rnd.outstanding:
                         self._finish_round(rid)
 
@@ -840,7 +849,7 @@ class AsyncTcpCluster(WallClockBackend):
             if rnd.timer is not None:
                 rnd.timer.cancel()
             for wid in list(rnd.outstanding):
-                rnd.events.put((wid, None, 0.0, None, None))
+                rnd.events.put((wid, None, 0.0, None, None, None))
             rnd.outstanding.clear()
         frame = b"".join(encode_frame("shutdown", {}))
         for wid in list(self._writers):

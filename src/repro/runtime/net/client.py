@@ -127,6 +127,10 @@ class TcpRoundHandle(RoundHandle):
         #: worker_id -> daemon-side sub-spans ([[name, t0, t1], ...],
         #: times relative to frame receipt) from traced result frames
         self.worker_spans: dict[int, list] = {}
+        #: worker_id -> daemon-countersigned result digest from
+        #: attested result frames (audit armed); the master's audit
+        #: commitment cross-checks these against its own digests
+        self.worker_digests: dict[int, str] = {}
         self._cancelled = False
         self.t_start = cluster.now
         self.broadcast_time = cluster._last_broadcast_time
@@ -141,7 +145,9 @@ class TcpRoundHandle(RoundHandle):
     # ------------------------------------------------------------------
     # delivery callbacks (invoked by the cluster's pump)
     # ------------------------------------------------------------------
-    def _deliver(self, wid: int, value, compute_time: float, err, spans=None) -> None:
+    def _deliver(
+        self, wid: int, value, compute_time: float, err, spans=None, digest=None
+    ) -> None:
         if wid not in self._outstanding:
             return
         self._outstanding.discard(wid)
@@ -149,6 +155,8 @@ class TcpRoundHandle(RoundHandle):
             self.worker_errors[wid] = err
         if spans:
             self.worker_spans[wid] = spans
+        if digest is not None:
+            self.worker_digests[wid] = digest
         if value is None:
             self._received[wid] = self._missing(wid)
             return
@@ -545,6 +553,7 @@ class TcpCluster(WallClockBackend):
                     target._deliver(
                         wid, value, float(fields.get("compute_time", 0.0)),
                         fields.get("err"), fields.get("spans"),
+                        fields.get("digest"),
                     )
             elif kind == "heartbeat_ack":
                 # liveness needed no more than the _hb_pending reset
@@ -673,6 +682,9 @@ class TcpCluster(WallClockBackend):
             # untraced frames are byte-identical to pre-obs builds
             fields["trace"] = True
             self.obs.on_dispatch("tcp", job, len(participants))
+        if self.attest:
+            # audited rounds ask the daemons to countersign results
+            fields["attest"] = True
         arrays = (job.operand,) if job.operand is not None else ()
         parts = encode_frame("round", fields, arrays)  # serialize once
         for wid in live:

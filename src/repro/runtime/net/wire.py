@@ -36,9 +36,14 @@ Message kinds
                    backends apply in-process, shipped over the wire
 ``store``          master → worker: ``{name}`` + one share array
 ``round``          master → worker: ``{rid, op, payload_key, rhs_key}``
-                   (+ the broadcast operand, when the op has one)
+                   (+ the broadcast operand, when the op has one);
+                   carries ``attest: true`` when the session armed
+                   auditing, asking the daemon to countersign
 ``result``         worker → master: ``{rid, worker_id, compute_time,
-                   ok, err}`` (+ the result array when ``ok``)
+                   ok, err}`` (+ the result array when ``ok``); on an
+                   attested round the daemon adds ``digest``, the
+                   blake2b digest of the shipped result — the worker's
+                   countersignature for the round's audit commitment
 ``cancel``         master → worker: ``{rid}`` — skip this round if it
                    is still queued
 ``heartbeat`` / ``heartbeat_ack``: ``{seq}`` liveness probes
@@ -130,7 +135,11 @@ class WireCounters:
             rtt.set(value, backend=backend, worker=wid)
 
 MAGIC = b"AV"
-PROTOCOL_VERSION = 1
+#: bumped 1 → 2 when the result frame gained the attestation ``digest``
+#: field: the hello-level negotiation (:func:`check_hello`) turns away
+#: daemons from either side of the bump with an error naming both
+#: versions, instead of admitting a fleet that cannot countersign.
+PROTOCOL_VERSION = 2
 #: preamble: magic, version, kind code, payload crc32, payload length
 _PREAMBLE = struct.Struct(">2sBBII")
 _HEADER_LEN = struct.Struct(">I")

@@ -325,6 +325,13 @@ class WorkerServer:
             "ok": value is not None,
             "err": err,
         }
+        if fields.get("attest") and value is not None:
+            # countersign the *shipped* value (post-corruption): the
+            # attestation proves what this daemon sent, not that the
+            # share is honest — verification establishes honesty
+            from repro.obs.audit import digest_array
+
+            meta["digest"] = digest_array(value)
         if traced:
             # sub-spans as offsets from frame receipt; the master
             # anchors them so the last span ends at result arrival,

@@ -117,6 +117,10 @@ class RequestOutcome:
     latency: float | None = None
     #: None when the request carried no (finite) deadline
     slo_met: bool | None = None
+    #: sequence number of the audit-chain commitment backing this
+    #: request's round (``SessionConfig.audit`` on); ``None`` — and
+    #: absent from :meth:`to_dict` — otherwise
+    audit_seq: int | None = None
 
     def to_dict(self) -> dict[str, Any]:
         def clean(x: float | None) -> float | None:
@@ -124,7 +128,7 @@ class RequestOutcome:
                 return None
             return float(x)
 
-        return {
+        out = {
             "request_id": self.request_id,
             "tenant": self.tenant,
             "family": self.family,
@@ -136,6 +140,11 @@ class RequestOutcome:
             "latency": clean(self.latency),
             "slo_met": self.slo_met,
         }
+        if self.audit_seq is not None:
+            # only audited runs carry the key: unaudited report rows
+            # stay byte-identical to pre-audit builds
+            out["audit_seq"] = self.audit_seq
+        return out
 
 
 @dataclass(frozen=True)
@@ -380,6 +389,7 @@ class Gateway:
         #: the session's Observability (None unless the session config
         #: enabled it) — tracing and window accounting hang off it
         self.obs = getattr(session, "obs", None)
+        self.audit = getattr(session, "audit", None)
         self._record_outcome: Any = None
         if self.obs is not None:
             # no control loop -> nobody ever drains the raw-value
@@ -814,6 +824,7 @@ class Gateway:
                 completed=completed,
                 latency=completed - req.arrival,
                 slo_met=slo,
+                audit_seq=handle._audit_seq,
             )
             self._outcomes[req.request_id] = done
             self._fresh_outcomes.append(done)

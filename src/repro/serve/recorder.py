@@ -60,11 +60,17 @@ class RecordedTrace:
         ``worker_id -> per-round slowdown factors`` (1.0 = that
         round's fastest responder), one entry per round the worker
         responded in.
+    audit_head:
+        Head hash of the run's audit chain when the session was
+        audited (``SessionConfig.audit``), else ``None``. Pins the
+        trace to the provenance of the run that produced it: a replay
+        can verify its own chain re-derives the recorded commitments.
     """
 
     base_interval: float
     arrival_gaps: tuple[float, ...]
     worker_slowdowns: Mapping[int, tuple[float, ...]] = dc_field(default_factory=dict)
+    audit_head: str | None = None
 
     def __post_init__(self) -> None:
         if self.base_interval <= 0:
@@ -112,13 +118,18 @@ class RecordedTrace:
     # dict round-trip
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        return {
+        out: dict[str, Any] = {
             "base_interval": self.base_interval,
             "arrival_gaps": list(self.arrival_gaps),
             "worker_slowdowns": {
                 str(w): list(fs) for w, fs in sorted(self.worker_slowdowns.items())
             },
         }
+        if self.audit_head is not None:
+            # only audited runs carry the key: unaudited trace dumps
+            # stay byte-identical to pre-audit builds
+            out["audit_head"] = self.audit_head
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RecordedTrace":
@@ -129,6 +140,7 @@ class RecordedTrace:
                 int(w): tuple(fs)
                 for w, fs in dict(data.get("worker_slowdowns", {})).items()
             },
+            audit_head=data.get("audit_head"),
         )
 
 
@@ -150,8 +162,15 @@ class GatewayRecorder:
             raise ValueError("base_interval must be positive")
         self.base_interval = base_interval
 
-    def capture(self, report: ServeReport, stats: SessionStats) -> RecordedTrace:
+    def capture(
+        self, report: ServeReport, stats: SessionStats, audit: Any = None
+    ) -> RecordedTrace:
         """Record the run's arrivals and per-worker slowdowns.
+
+        Pass the session's :class:`~repro.obs.audit.AuditLog` (or the
+        gateway's ``audit`` attribute) as ``audit`` to stamp the
+        chain head into the trace — the provenance anchor a replay
+        checks its own commitments against.
 
         Every request that *arrived* is recorded — served or shed; the
         shed ones are part of the traffic a replay must reproduce.
@@ -186,4 +205,5 @@ class GatewayRecorder:
             base_interval=base,
             arrival_gaps=arrival_gaps,
             worker_slowdowns={w: tuple(fs) for w, fs in slowdowns.items()},
+            audit_head=(audit.head if audit is not None and len(audit) else None),
         )

@@ -90,6 +90,19 @@ class TestExamples:
         doc = json.loads(snap.read_text())
         assert "metrics" in doc and "traces" in doc
 
+    def test_audit_demo(self, tmp_path):
+        """Audited Byzantine round -> dump -> verify -> forgery named."""
+        chain = tmp_path / "audit_chain.jsonl"
+        out = _run("audit_demo.py", "--chain", str(chain))
+        assert "rounds committed, chain head" in out
+        assert "rejected  [5]" in out
+        assert "dump re-verified" in out
+        assert "forged acceptance in record 1 detected" in out
+        assert "audit chain broken at record 1" in out
+        # the dump the demo writes must be a loadable JSONL chain
+        rows = [json.loads(line) for line in chain.read_text().splitlines()]
+        assert [r["seq"] for r in rows] == list(range(len(rows)))
+
     def test_private_inference(self):
         out = _run("private_inference.py")
         assert "bit-identical" in out
